@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artifact (table or figure series)
+and prints it; pytest-benchmark's timing wraps the headline computation.
+Laptop-scale grids are the default; set ``REPRO_PAPER_SCALE=1`` for the
+paper's full sizes (see repro.experiments.scenarios).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a reproduced artifact so it lands in the benchmark log."""
+    sys.stdout.write("\n" + text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (grids are slow and
+    deterministic; statistical repetition belongs to micro-benches)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,59 @@
+"""E1 / Fig. 3 — SAPS result-inference time vs number of objects.
+
+Paper claim: SAPS scales to 1000 objects in ~2 minutes (C++), the curve
+grows polynomially in n, and the worker-quality distribution has little
+impact on runtime (the search cost does not depend on edge values).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments import format_series, run_pipeline_arm
+from repro.experiments.scenarios import (
+    FIG3_QUALITIES,
+    FIG3_SELECTION_RATIO,
+    fig3_object_counts,
+)
+
+from conftest import emit
+
+
+def _run_grid():
+    records = []
+    for quality in FIG3_QUALITIES:
+        for n in fig3_object_counts():
+            scenario = make_scenario(
+                n, FIG3_SELECTION_RATIO, n_workers=50, workers_per_task=5,
+                quality=quality, rng=100 + n,
+            )
+            records.append(
+                run_pipeline_arm(scenario, PipelineConfig(), rng=100 + n)
+            )
+    return records
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_saps_time_vs_objects(once):
+    records = once(_run_grid)
+    emit(format_series(records, x="n", y="seconds", group_by="quality",
+                       title="Fig. 3: SAPS inference time (s) vs #objects"))
+    emit(format_series(records, x="n", y="accuracy", group_by="quality",
+                       title="(accuracy alongside, for context)"))
+
+    by_quality = {}
+    for record in records:
+        by_quality.setdefault(record.quality, []).append(record)
+    for quality, rows in by_quality.items():
+        rows.sort(key=lambda r: r.n_objects)
+        # Time grows with n (allowing small-n noise).
+        assert rows[-1].seconds > rows[0].seconds * 0.8
+    # Quality distribution has little impact on runtime: same-n times
+    # across distributions within a wide band (paper: "little impact").
+    # Wall-clock on a shared machine is noisy at small n, hence 5x.
+    gaussians, uniforms = by_quality.values()
+    for g_row, u_row in zip(gaussians, uniforms):
+        ratio = g_row.seconds / max(u_row.seconds, 1e-9)
+        assert 1 / 5 < ratio < 5

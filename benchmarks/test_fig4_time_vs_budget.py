@@ -1,0 +1,64 @@
+"""E2 / Fig. 4 — inference time vs selection ratio + per-step breakdown.
+
+Paper claims: (1) SAPS time rises slightly with the selection ratio
+(more pairwise preferences to aggregate); (2) Step 4 (find best ranking)
+dominates the per-step breakdown; (3) the Gaussian quality distribution
+yields many more 1-edges than the Uniform one (high-quality workers vote
+unanimously), which shifts the Step-1 vs Step-2 cost balance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments import format_records, format_series, run_pipeline_arm
+from repro.experiments.scenarios import fig4_object_count, fig4_selection_ratios
+
+from conftest import emit
+
+
+def _run_grid():
+    records = []
+    n = fig4_object_count()
+    for quality in ("gaussian", "uniform"):
+        for ratio in fig4_selection_ratios():
+            scenario = make_scenario(
+                n, ratio, n_workers=50, workers_per_task=5, quality=quality,
+                rng=int(200 + ratio * 100),
+            )
+            records.append(
+                run_pipeline_arm(scenario, PipelineConfig(),
+                                 rng=int(200 + ratio * 100))
+            )
+    return records
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_time_vs_selection_ratio(once):
+    records = once(_run_grid)
+    emit(format_series(records, x="r", y="seconds", group_by="quality",
+                       title="Fig. 4: inference time (s) vs selection ratio"))
+    emit(format_records(
+        records,
+        columns=["quality", "r", "t_truth_discovery", "t_smoothing",
+                 "t_propagation", "t_search", "n_one_edges"],
+        title="Fig. 4 (breakdown): per-step seconds and 1-edge counts",
+    ))
+
+    # Step 4 dominates: search time is the largest step at the top ratio.
+    for record in records:
+        if record.selection_ratio == max(fig4_selection_ratios()):
+            steps = {
+                k: v for k, v in record.extras.items() if k.startswith("t_")
+            }
+            assert steps["t_search"] == max(steps.values())
+
+    # Gaussian produces more 1-edges than Uniform at equal ratio.
+    gaussian = {r.selection_ratio: r.extras["n_one_edges"]
+                for r in records if "Gaussian" in r.quality}
+    uniform = {r.selection_ratio: r.extras["n_one_edges"]
+               for r in records if "Uniform" in r.quality}
+    more = sum(1 for ratio in gaussian if gaussian[ratio] >= uniform[ratio])
+    assert more >= len(gaussian) // 2 + 1

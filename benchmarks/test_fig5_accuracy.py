@@ -1,0 +1,84 @@
+"""E3 / Fig. 5 — ranking accuracy vs #objects and vs selection ratio.
+
+Paper claims: overall accuracy in [0.86, 0.99]; accuracy improves with
+the number of objects (more transitive inference) and with the selection
+ratio (more budget); Gaussian-quality workers beat Uniform-quality ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments import format_series, run_pipeline_arm
+from repro.experiments.scenarios import (
+    fig5_object_counts,
+    fig5_selection_ratios,
+)
+
+from conftest import emit
+
+
+def _accuracy_vs_objects():
+    records = []
+    for quality in ("gaussian", "uniform"):
+        for n in fig5_object_counts():
+            scenario = make_scenario(
+                n, 0.1, n_workers=50, workers_per_task=5, quality=quality,
+                rng=300 + n,
+            )
+            records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                            rng=300 + n))
+    return records
+
+
+def _accuracy_vs_ratio():
+    records = []
+    for quality in ("gaussian", "uniform"):
+        for ratio in fig5_selection_ratios():
+            scenario = make_scenario(
+                100, ratio, n_workers=50, workers_per_task=5,
+                quality=quality, rng=int(400 + 100 * ratio),
+            )
+            records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                            rng=int(400 + 100 * ratio)))
+    return records
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_accuracy_vs_objects(once):
+    records = once(_accuracy_vs_objects)
+    emit(format_series(records, x="n", y="accuracy", group_by="quality",
+                       title="Fig. 5 (left): accuracy vs #objects (r=0.1)"))
+    assert all(record.accuracy >= 0.80 for record in records)
+    by_quality = {}
+    for record in records:
+        by_quality.setdefault(record.quality, []).append(record)
+    for rows in by_quality.values():
+        rows.sort(key=lambda r: r.n_objects)
+        # Accuracy does not degrade with n (paper: it improves).
+        assert rows[-1].accuracy >= rows[0].accuracy - 0.05
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_accuracy_vs_selection_ratio(once):
+    records = once(_accuracy_vs_ratio)
+    emit(format_series(records, x="r", y="accuracy", group_by="quality",
+                       title="Fig. 5 (right): accuracy vs selection ratio "
+                             "(n=100)"))
+    assert all(record.accuracy >= 0.80 for record in records)
+    by_quality = {}
+    for record in records:
+        by_quality.setdefault(record.quality, []).append(record)
+    for rows in by_quality.values():
+        rows.sort(key=lambda r: r.selection_ratio)
+        assert rows[-1].accuracy >= rows[0].accuracy - 0.02
+    # Gaussian >= Uniform at matching ratios (small tolerance).
+    gaussian = sorted((r for r in records if "Gaussian" in r.quality),
+                      key=lambda r: r.selection_ratio)
+    uniform = sorted((r for r in records if "Uniform" in r.quality),
+                     key=lambda r: r.selection_ratio)
+    wins = sum(1 for g, u in zip(gaussian, uniform)
+               if g.accuracy >= u.accuracy - 0.01)
+    assert wins >= len(gaussian) - 1

@@ -1,0 +1,87 @@
+"""E4 / Table I — SAPS vs RC / QS / CrowdBT: accuracy and time.
+
+Paper claims (shape, not absolute numbers): SAPS decisively beats RC and
+QS on accuracy at r=0.5; CrowdBT's accuracy is comparable to SAPS but its
+interactive loop is orders of magnitude slower; RC is the fastest and QS
+second; SAPS accuracy improves with n while CrowdBT's degrades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments import (
+    format_records,
+    run_baseline_arm,
+    run_pipeline_arm,
+)
+from repro.experiments.runner import collect_votes
+from repro.experiments.scenarios import (
+    TABLE1_SELECTION_RATIO,
+    table1_object_counts,
+)
+
+from conftest import emit
+
+
+def _run_table(quality):
+    records = []
+    for n in table1_object_counts():
+        scenario = make_scenario(
+            n, TABLE1_SELECTION_RATIO, n_workers=50, workers_per_task=5,
+            quality=quality, rng=500 + n,
+        )
+        votes = collect_votes(scenario, rng=500 + n)
+        records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                        rng=500 + n, votes=votes))
+        for name in ("rc", "qs"):
+            records.append(run_baseline_arm(scenario, name, rng=500 + n,
+                                            votes=votes))
+        records.append(run_baseline_arm(scenario, "crowdbt", rng=500 + n))
+    return records
+
+
+def _check_shape(records):
+    by_arm = {}
+    for record in records:
+        by_arm[(record.algorithm, record.n_objects)] = record
+    ns = sorted({r.n_objects for r in records})
+    for n in ns:
+        saps = by_arm[("saps", n)]
+        # SAPS decisively beats RC and QS on accuracy.
+        assert saps.accuracy > by_arm[("rc", n)].accuracy
+        assert saps.accuracy > by_arm[("qs", n)].accuracy
+        # RC is the fastest of the non-interactive algorithms.
+        assert by_arm[("rc", n)].seconds <= saps.seconds
+    # CrowdBT's interactive cost grows ~n^4 (queries x per-query scan)
+    # against SAPS's ~n^2: the slowdown ratio widens with n and CrowdBT
+    # is strictly slower at the largest size (the paper's 26,012 s vs
+    # 3.9 s story, compressed by numpy vectorisation).
+    ratios = [
+        by_arm[("crowdbt", n)].seconds / by_arm[("saps", n)].seconds
+        for n in ns
+    ]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 1.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_gaussian(once):
+    records = once(_run_table, "gaussian")
+    emit(format_records(
+        records, columns=["algorithm", "n", "accuracy", "seconds"],
+        title="Table I(a): workers' quality = Gaussian distribution, r=0.5",
+    ))
+    _check_shape(records)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_uniform(once):
+    records = once(_run_table, "uniform")
+    emit(format_records(
+        records, columns=["algorithm", "n", "accuracy", "seconds"],
+        title="Table I(b): workers' quality = Uniform distribution, r=0.5",
+    ))
+    _check_shape(records)

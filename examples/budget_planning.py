@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Budget planning: how much ranking quality does a dollar buy?
+
+The requester's core question in the paper's setting: given ``n`` objects,
+a per-comparison reward, and a replication factor ``w``, sweep the budget
+and report the selection ratio, the expected fairness/HP-likelihood of
+the Algorithm-1 task plan, and the measured ranking accuracy.
+
+Run:  python examples/budget_planning.py
+"""
+
+from repro import rank_with_crowd
+from repro.assignment import generate_assignment, verify_assignment
+from repro.budget import BudgetModel, plan_for_budget
+from repro.types import Ranking
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+N_OBJECTS = 60
+WORKERS_PER_TASK = 5
+REWARD = 0.025
+SEED = 11
+
+
+def main() -> None:
+    truth = Ranking.random(N_OBJECTS, rng=SEED)
+    pool = WorkerPool.from_distribution(
+        40, gaussian_preset(QualityLevel.MEDIUM), rng=SEED
+    )
+    all_pairs = N_OBJECTS * (N_OBJECTS - 1) // 2
+    full_cost = all_pairs * WORKERS_PER_TASK * REWARD
+    print(f"{N_OBJECTS} objects -> {all_pairs} possible comparisons; "
+          f"full coverage would cost ${full_cost:.2f}\n")
+
+    header = (f"{'budget':>8}  {'ratio':>6}  {'pairs':>6}  {'degree':>6}  "
+              f"{'fair':>5}  {'Pr_l bound':>10}  {'accuracy':>8}")
+    print(header)
+    print("-" * len(header))
+
+    for dollars in (15, 30, 60, 120, 220):
+        budget = BudgetModel(total=float(dollars),
+                             workers_per_task=WORKERS_PER_TASK,
+                             reward=REWARD)
+        plan = plan_for_budget(N_OBJECTS, budget)
+        assignment = generate_assignment(plan, rng=SEED)
+        report = verify_assignment(assignment)
+
+        outcome = rank_with_crowd(
+            truth, pool,
+            selection_ratio=plan.selection_ratio,
+            workers_per_task=WORKERS_PER_TASK,
+            reward=REWARD,
+            rng=SEED,
+        )
+        print(f"{dollars:>7}$  {plan.selection_ratio:>6.2f}  "
+              f"{plan.n_comparisons:>6}  "
+              f"{report.degree_min:>2}-{report.degree_max:<3}  "
+              f"{str(report.near_fair):>5}  "
+              f"{report.hp_likelihood_bound:>10.3e}  "
+              f"{outcome.accuracy:>8.4f}")
+
+    print("\nReading: the Theorem-4.4 bound and the measured accuracy both "
+          "improve with budget;\neven the smallest budget (a spanning, "
+          "near-regular plan) stays far above random (0.5).")
+
+
+if __name__ == "__main__":
+    main()

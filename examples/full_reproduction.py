@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline numbers and export them as CSV.
+
+Runs a compact version of every accuracy-bearing experiment (Fig. 5's two
+axes, Table I, and the quality sweep of Fig. 6) with multi-seed
+replication, prints mean ± std, and writes `reproduction_artifacts/*.csv`
+for downstream plotting.  The full benchmark suite (`pytest benchmarks/
+--benchmark-only`) covers the timing figures as well; this script is the
+five-minute "show me the numbers" path.
+
+Run:  python examples/full_reproduction.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments import (
+    export_records_csv,
+    replicate,
+    run_baseline_arm,
+    run_pipeline_arm,
+)
+from repro.experiments.runner import collect_votes
+from repro.workers import QualityLevel
+
+REPEATS = 3
+
+
+def arm(n, ratio, quality="gaussian", level=QualityLevel.MEDIUM,
+        algorithm="pipeline"):
+    """Build a single-arm closure for replicate()."""
+
+    def run_one(seed_like):
+        scenario = make_scenario(n, ratio, n_workers=40, workers_per_task=5,
+                                 quality=quality, level=level, rng=seed_like)
+        if algorithm == "pipeline":
+            return run_pipeline_arm(scenario, PipelineConfig(),
+                                    rng=seed_like)
+        votes = collect_votes(scenario, rng=seed_like)
+        return run_baseline_arm(scenario, algorithm, rng=seed_like,
+                                votes=votes)
+
+    return run_one
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1
+                   else "reproduction_artifacts")
+    out_dir.mkdir(exist_ok=True)
+    flat_records = []
+
+    print("== Fig. 5 (accuracy vs selection ratio, n = 80) ==")
+    for ratio in (0.1, 0.3, 0.5):
+        aggregate = replicate(arm(80, ratio), REPEATS, rng=int(ratio * 1000))
+        print(f"  r={ratio:.1f}: {aggregate.mean_accuracy:.4f} "
+              f"± {aggregate.std_accuracy:.4f}")
+
+    print("\n== Fig. 5 (accuracy vs n, r = 0.1) ==")
+    for n in (60, 100, 150):
+        aggregate = replicate(arm(n, 0.1), REPEATS, rng=n)
+        print(f"  n={n}: {aggregate.mean_accuracy:.4f} "
+              f"± {aggregate.std_accuracy:.4f}")
+
+    print("\n== Table I shape (n = 80, r = 0.5) ==")
+    for algorithm in ("pipeline", "rc", "qs", "borda", "rank_centrality"):
+        aggregate = replicate(arm(80, 0.5, algorithm=algorithm), REPEATS,
+                              rng=42)
+        print(f"  {aggregate.summary()}")
+
+    print("\n== Fig. 6 shape (worker quality, n = 60, r = 0.3) ==")
+    for level in (QualityLevel.HIGH, QualityLevel.MEDIUM, QualityLevel.LOW):
+        aggregate = replicate(arm(60, 0.3, level=level), REPEATS, rng=7)
+        print(f"  {level.value:<6}: {aggregate.mean_accuracy:.4f} "
+              f"± {aggregate.std_accuracy:.4f}")
+
+    # Flat per-run export for plotting.
+    for n in (60, 100):
+        for ratio in (0.1, 0.5):
+            scenario = make_scenario(n, ratio, n_workers=40,
+                                     workers_per_task=5, rng=n)
+            flat_records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                                 rng=n))
+    csv_path = out_dir / "pipeline_accuracy_grid.csv"
+    export_records_csv(flat_records, csv_path)
+    print(f"\nwrote {csv_path} ({len(flat_records)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Non-interactive SAPS vs interactive CrowdBT at the same money budget.
+
+The paper's Table-I story: CrowdBT reaches comparable accuracy but pays
+for it with per-query model updates and active selection — the wall-clock
+gap widens rapidly with the number of objects, and CrowdBT's accuracy
+advantage disappears as the budget grows.
+
+Run:  python examples/interactive_vs_noninteractive.py
+"""
+
+import time
+
+from repro.baselines import crowd_bt_rank
+from repro.budget import plan_for_selection_ratio
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+from repro.inference import RankingPipeline
+from repro.metrics import ranking_accuracy
+from repro.platform import InteractivePlatform
+
+SEED = 404
+
+
+def main() -> None:
+    print(f"{'n':>5}  {'r':>5}  {'SAPS acc':>8}  {'SAPS s':>7}  "
+          f"{'CrowdBT acc':>11}  {'CrowdBT s':>9}  {'slowdown':>8}")
+    for n, ratio in [(60, 0.5), (120, 0.3), (200, 0.3)]:
+        scenario = make_scenario(n, ratio, n_workers=40, workers_per_task=5,
+                                 rng=SEED + n)
+
+        # Non-interactive: one crowdsourcing round, then inference.
+        votes = collect_votes(scenario, rng=SEED + n)
+        start = time.perf_counter()
+        result = RankingPipeline(PipelineConfig()).run(votes, rng=SEED + n)
+        saps_seconds = time.perf_counter() - start
+        saps_accuracy = ranking_accuracy(result.ranking,
+                                         scenario.ground_truth)
+
+        # Interactive: CrowdBT queries one comparison at a time until the
+        # same money budget is exhausted.
+        plan = plan_for_selection_ratio(n, ratio, workers_per_task=5)
+        platform = InteractivePlatform(
+            scenario.pool, scenario.ground_truth,
+            budget=plan.budget.total, reward=plan.budget.reward,
+            rng=SEED + n,
+        )
+        start = time.perf_counter()
+        crowd_bt = crowd_bt_rank(platform, n_workers=len(scenario.pool),
+                                 rng=SEED + n)
+        crowd_bt_seconds = time.perf_counter() - start
+        crowd_bt_accuracy = ranking_accuracy(crowd_bt,
+                                             scenario.ground_truth)
+
+        print(f"{n:>5}  {ratio:>5.2f}  {saps_accuracy:>8.4f}  "
+              f"{saps_seconds:>7.2f}  {crowd_bt_accuracy:>11.4f}  "
+              f"{crowd_bt_seconds:>9.2f}  "
+              f"{crowd_bt_seconds / max(saps_seconds, 1e-9):>7.1f}x")
+
+    print("\nReading: accuracy is comparable, but the interactive loop's "
+          "per-query O(n^2) active\nselection makes its total cost grow "
+          "~n^4 — the slowdown column widens with n.\n(The paper reports "
+          "26,012 s for CrowdBT vs 3.9 s for SAPS at n=300; our numpy-"
+          "vectorised\nscan compresses the constant, not the shape.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Task assignment (Sec. IV): fair, HP-likely, budget-constrained HITs.
+
+* :mod:`~repro.assignment.generator` — Algorithm 1: build the task graph
+  and batch its edges into HITs of ``c`` comparisons each;
+* :mod:`~repro.assignment.fairness` — post-hoc verification that a plan
+  meets the fairness / HP-likelihood / budget requirements;
+* :mod:`~repro.assignment.assigner` — distribute each HIT to ``w``
+  distinct workers.
+"""
+
+from .generator import TaskAssignment, generate_assignment, batch_into_hits
+from .fairness import AssignmentReport, verify_assignment
+from .assigner import WorkerAssignment, assign_hits
+
+__all__ = [
+    "TaskAssignment",
+    "generate_assignment",
+    "batch_into_hits",
+    "AssignmentReport",
+    "verify_assignment",
+    "WorkerAssignment",
+    "assign_hits",
+]

@@ -1,0 +1,144 @@
+"""Distributing HITs to workers (Sec. II).
+
+Each HIT must be answered by ``w`` *distinct* workers (``w <= m``).
+:func:`assign_hits` draws the ``w`` workers per HIT uniformly at random,
+mirroring the open-call nature of AMT where any eligible worker may pick
+up any HIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import AssignmentError
+from ..rng import SeedLike, ensure_rng
+from ..types import HIT, WorkerId
+from .generator import TaskAssignment
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """A mapping from each HIT to the workers who will answer it.
+
+    Attributes
+    ----------
+    task_assignment:
+        The underlying HIT plan.
+    workers_per_hit:
+        ``w`` — replication factor.
+    hit_workers:
+        ``hit_workers[hit_id]`` is the tuple of distinct worker ids
+        assigned to that HIT.
+    """
+
+    task_assignment: TaskAssignment
+    workers_per_hit: int
+    hit_workers: Tuple[Tuple[WorkerId, ...], ...]
+
+    def workload(self) -> Dict[WorkerId, int]:
+        """Number of pairwise comparisons each worker will perform."""
+        load: Dict[WorkerId, int] = {}
+        for hit, workers in zip(self.task_assignment.hits, self.hit_workers):
+            for worker in workers:
+                load[worker] = load.get(worker, 0) + len(hit)
+        return load
+
+    @property
+    def total_votes(self) -> int:
+        """Total individual comparisons to be collected."""
+        return sum(
+            len(hit) * len(workers)
+            for hit, workers in zip(self.task_assignment.hits, self.hit_workers)
+        )
+
+
+def assign_hits(
+    task_assignment: TaskAssignment,
+    n_workers: int,
+    workers_per_hit: int,
+    rng: SeedLike = None,
+    *,
+    max_comparisons_per_worker: Optional[int] = None,
+) -> WorkerAssignment:
+    """Assign every HIT to ``workers_per_hit`` distinct workers.
+
+    By default workers are drawn uniformly at random per HIT (the
+    open-call AMT model).  ``max_comparisons_per_worker`` adds a
+    workload quota — real platforms cap how much one worker may answer,
+    both for fatigue and to stop a single account dominating the batch —
+    in which case assignment becomes load-balanced: each HIT takes the
+    ``w`` least-loaded eligible workers (random tie-breaking).
+
+    Raises
+    ------
+    AssignmentError
+        If ``workers_per_hit`` exceeds the pool size (the paper requires
+        ``w <= m``), or the quota makes the batch infeasible
+        (``m * quota < total comparisons needed``).
+    """
+    if n_workers < 1:
+        raise AssignmentError(f"n_workers must be >= 1, got {n_workers}")
+    if not 1 <= workers_per_hit <= n_workers:
+        raise AssignmentError(
+            f"workers_per_hit={workers_per_hit} must satisfy "
+            f"1 <= w <= m={n_workers}"
+        )
+    generator = ensure_rng(rng)
+    if max_comparisons_per_worker is None:
+        hit_workers: List[Tuple[WorkerId, ...]] = []
+        for _ in task_assignment.hits:
+            chosen = generator.choice(n_workers, size=workers_per_hit,
+                                      replace=False)
+            hit_workers.append(tuple(int(k) for k in chosen))
+    else:
+        hit_workers = _assign_with_quota(
+            task_assignment, n_workers, workers_per_hit,
+            max_comparisons_per_worker, generator,
+        )
+    return WorkerAssignment(
+        task_assignment=task_assignment,
+        workers_per_hit=workers_per_hit,
+        hit_workers=tuple(hit_workers),
+    )
+
+
+def _assign_with_quota(
+    task_assignment: TaskAssignment,
+    n_workers: int,
+    workers_per_hit: int,
+    quota: int,
+    generator,
+) -> List[Tuple[WorkerId, ...]]:
+    """Least-loaded assignment under a per-worker comparison quota."""
+    if quota < 1:
+        raise AssignmentError(f"quota must be >= 1, got {quota}")
+    total_needed = sum(
+        len(hit) * workers_per_hit for hit in task_assignment.hits
+    )
+    if n_workers * quota < total_needed:
+        raise AssignmentError(
+            f"quota infeasible: {n_workers} workers x {quota} comparisons "
+            f"< {total_needed} needed"
+        )
+    load = [0] * n_workers
+    hit_workers: List[Tuple[WorkerId, ...]] = []
+    for hit in task_assignment.hits:
+        cost = len(hit)
+        eligible = [k for k in range(n_workers) if load[k] + cost <= quota]
+        if len(eligible) < workers_per_hit:
+            # Feasible in aggregate but fragmented by HIT granularity
+            # (c > 1 bundles); surface it rather than silently dropping.
+            raise AssignmentError(
+                f"quota too fragmented: HIT {hit.hit_id} needs "
+                f"{workers_per_hit} workers with {cost} spare comparisons "
+                f"each, only {len(eligible)} available"
+            )
+        jitter = generator.random(len(eligible))
+        order = sorted(range(len(eligible)),
+                       key=lambda idx: (load[eligible[idx]], jitter[idx]))
+        chosen = [eligible[idx] for idx in order[:workers_per_hit]]
+        for worker in chosen:
+            load[worker] += cost
+        hit_workers.append(tuple(chosen))
+    return hit_workers

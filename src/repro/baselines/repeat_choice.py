@@ -1,0 +1,107 @@
+"""RepeatChoice (RC) — aggregation of partial rankings (Ailon 2010).
+
+RC aggregates ``m`` partial rankings by iterated refinement: start with
+all objects in one bucket, then visit the voters in random order and let
+each voter split every bucket according to their own partial ranking
+(objects they rank earlier go to earlier sub-buckets; objects they do not
+rank stay together).  Remaining ties are broken uniformly at random.
+
+In the crowdsourced-comparison setting each worker's partial ranking is
+the partial order induced by their own pairwise votes; with a small
+budget each worker has seen only a sliver of the objects, so RC's output
+is close to random — which is exactly the weakness Table I exposes (RC
+"tries to minimize the sum of distances between the output and the
+individual rankings", but the individual rankings barely constrain the
+output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..exceptions import InferenceError
+from ..rng import SeedLike, ensure_rng
+from ..types import Ranking, VoteSet
+
+
+def _worker_partial_order(votes) -> Dict[int, int]:
+    """A worker's partial ranking as object -> level (topological depth).
+
+    The worker's votes form a preference digraph; objects are levelled by
+    longest-path depth (cycles from inconsistent votes are broken by
+    capping the propagation).  Lower level = more preferred.
+    """
+    succ: Dict[int, List[int]] = {}
+    objects = set()
+    for vote in votes:
+        succ.setdefault(vote.winner, []).append(vote.loser)
+        objects.add(vote.winner)
+        objects.add(vote.loser)
+    level = {obj: 0 for obj in objects}
+    # Bellman-Ford style relaxation, capped to |objects| rounds so that
+    # accidental cycles (a worker voting inconsistently) terminate.
+    for _ in range(len(objects)):
+        changed = False
+        for winner, losers in succ.items():
+            for loser in losers:
+                if level[loser] < level[winner] + 1:
+                    level[loser] = level[winner] + 1
+                    changed = True
+        if not changed:
+            break
+    return level
+
+
+def repeat_choice(votes: VoteSet, rng: SeedLike = None) -> Ranking:
+    """Aggregate votes into a full ranking with RepeatChoice.
+
+    Raises
+    ------
+    InferenceError
+        On an empty vote set.
+    """
+    if len(votes) == 0:
+        raise InferenceError("RepeatChoice needs at least one vote")
+    generator = ensure_rng(rng)
+    n = votes.n_objects
+
+    by_worker = votes.by_worker()
+    worker_ids = list(by_worker)
+    generator.shuffle(worker_ids)
+
+    # Buckets of currently tied objects, in output order.
+    buckets: List[List[int]] = [list(range(n))]
+    for worker in worker_ids:
+        levels = _worker_partial_order(by_worker[worker])
+        refined: List[List[int]] = []
+        for bucket in buckets:
+            if len(bucket) == 1:
+                refined.append(bucket)
+                continue
+            ranked = sorted(
+                (obj for obj in bucket if obj in levels),
+                key=lambda o: levels[o],
+            )
+            unranked = [obj for obj in bucket if obj not in levels]
+            if not ranked:
+                refined.append(bucket)
+                continue
+            # Split the bucket: one sub-bucket per distinct level, with
+            # the unranked objects kept together after them (the voter
+            # expresses no opinion on those).
+            current_level = None
+            for obj in ranked:
+                if levels[obj] != current_level:
+                    refined.append([])
+                    current_level = levels[obj]
+                refined[-1].append(obj)
+            if unranked:
+                refined.append(unranked)
+        buckets = refined
+
+    order: List[int] = []
+    for bucket in buckets:
+        if len(bucket) > 1:
+            generator.shuffle(bucket)
+        order.extend(bucket)
+    return Ranking(order)

@@ -1,0 +1,147 @@
+"""Budget minimisation — the conclusion's alternative objective.
+
+"It is interesting to consider alternative objectives such as minimizing
+the number of comparisons to find the full ranking with acceptable
+accuracy."  :func:`minimal_selection_ratio` does exactly that for the
+simulated setting: bisection over the selection ratio, evaluating each
+candidate with repeated end-to-end pipeline runs, until the smallest
+ratio whose *mean* accuracy clears the target is bracketed.
+
+Accuracy is monotone in the ratio only in expectation — individual runs
+are noisy — so each probe averages ``repeats`` runs and the bisection
+treats the empirical mean as the response curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import PipelineConfig
+from ..datasets.synthetic import SimulationScenario
+from ..exceptions import ConfigurationError
+from ..experiments.runner import run_pipeline_arm
+from ..rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class BudgetSearchResult:
+    """Outcome of a minimal-budget search.
+
+    Attributes
+    ----------
+    selection_ratio:
+        The smallest probed ratio whose mean accuracy met the target
+        (the bracket's upper end).
+    n_comparisons:
+        The comparison count that ratio resolves to.
+    accuracy:
+        The mean accuracy measured at that ratio.
+    probes:
+        Every ``ratio -> mean accuracy`` measurement taken, in probe
+        order (useful for plotting the response curve).
+    """
+
+    selection_ratio: float
+    n_comparisons: int
+    accuracy: float
+    probes: Dict[float, float]
+
+
+def minimal_selection_ratio(
+    scenario_factory,
+    target_accuracy: float,
+    *,
+    repeats: int = 3,
+    tolerance: float = 0.02,
+    max_probes: int = 12,
+    config: Optional[PipelineConfig] = None,
+    rng: SeedLike = None,
+) -> BudgetSearchResult:
+    """Bisect the selection ratio to the accuracy target.
+
+    Parameters
+    ----------
+    scenario_factory:
+        ``f(selection_ratio, rng) -> SimulationScenario`` — builds the
+        scenario to probe at a given ratio (ground truth and worker
+        pool should be held fixed inside the factory for a fair sweep).
+    target_accuracy:
+        Required mean Kendall accuracy in (0.5, 1).
+    repeats:
+        Pipeline runs averaged per probe.
+    tolerance:
+        Bisection stops when the ratio bracket is narrower than this.
+    max_probes:
+        Upper bound on bisection probes (including the endpoints).
+    config:
+        Pipeline configuration for the probes.
+    rng:
+        Seed-like randomness for the probe runs.
+
+    Raises
+    ------
+    ConfigurationError
+        For an out-of-range target, or when even the full budget
+        (``ratio = 1``) misses the target.
+    """
+    if not 0.5 < target_accuracy < 1.0:
+        raise ConfigurationError(
+            f"target_accuracy must be in (0.5, 1), got {target_accuracy}"
+        )
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    generator = ensure_rng(rng)
+    pipeline_config = config or PipelineConfig()
+    probes: Dict[float, float] = {}
+
+    def probe(ratio: float) -> float:
+        scenario = scenario_factory(ratio, generator)
+        runs = []
+        for child in spawn_rngs(generator, repeats):
+            record = run_pipeline_arm(scenario, pipeline_config, rng=child)
+            runs.append(record.accuracy)
+        mean = sum(runs) / len(runs)
+        probes[round(ratio, 6)] = mean
+        return mean
+
+    low = _minimum_ratio(scenario_factory, generator)
+    high = 1.0
+    high_accuracy = probe(high)
+    if high_accuracy < target_accuracy:
+        raise ConfigurationError(
+            f"even the full budget only reaches accuracy "
+            f"{high_accuracy:.3f} < target {target_accuracy}"
+        )
+    low_accuracy = probe(low)
+    if low_accuracy >= target_accuracy:
+        high, high_accuracy = low, low_accuracy
+    else:
+        budget = max_probes - 2
+        while high - low > tolerance and budget > 0:
+            mid = (low + high) / 2.0
+            if probe(mid) >= target_accuracy:
+                high, high_accuracy = mid, probes[round(mid, 6)]
+            else:
+                low = mid
+            budget -= 1
+
+    final_scenario = scenario_factory(high, generator)
+    from .planner import plan_for_selection_ratio
+
+    plan = plan_for_selection_ratio(
+        final_scenario.n_objects, high,
+        workers_per_task=final_scenario.workers_per_task,
+    )
+    return BudgetSearchResult(
+        selection_ratio=high,
+        n_comparisons=plan.n_comparisons,
+        accuracy=high_accuracy,
+        probes=probes,
+    )
+
+
+def _minimum_ratio(scenario_factory, generator) -> float:
+    """The spanning-plan floor: ``(n - 1) / C(n, 2) = 2 / n``."""
+    scenario = scenario_factory(1.0, generator)
+    return 2.0 / scenario.n_objects

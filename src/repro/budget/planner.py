@@ -1,0 +1,117 @@
+"""Plan sizing: connect budgets, selection ratios and task-graph sizes.
+
+The experiments sweep the *selection ratio* ``r_sel = l / C(n, 2)``
+(Sec. VI-A1); the platform thinks in budgets ``B``.  :class:`BudgetPlan`
+is the resolved middle ground: a concrete number of unique comparisons
+``n_comparisons`` guaranteed to satisfy both the budget and the structural
+requirements of Algorithm 1 (at least ``n - 1`` edges so a Hamiltonian
+path can be seeded, at most ``C(n, 2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import BudgetError
+from .model import BudgetModel
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """A resolved crowdsourcing plan.
+
+    Attributes
+    ----------
+    n_objects:
+        Number of objects to rank.
+    n_comparisons:
+        Unique comparisons to crowdsource (task-graph edges ``l``).
+    budget:
+        The budget model that pays for the plan.
+    """
+
+    n_objects: int
+    n_comparisons: int
+    budget: BudgetModel
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 2:
+            raise BudgetError(f"need at least 2 objects, got {self.n_objects}")
+        max_pairs = self.n_objects * (self.n_objects - 1) // 2
+        if not self.n_objects - 1 <= self.n_comparisons <= max_pairs:
+            raise BudgetError(
+                f"n_comparisons={self.n_comparisons} outside feasible range "
+                f"[{self.n_objects - 1}, {max_pairs}] for n={self.n_objects}"
+            )
+        if not self.budget.can_afford(self.n_comparisons):
+            raise BudgetError(
+                f"budget {self.budget.total} cannot afford "
+                f"{self.n_comparisons} comparisons at "
+                f"{self.budget.cost_per_comparison} each"
+            )
+
+    @property
+    def selection_ratio(self) -> float:
+        """``l / C(n, 2)``, the paper's ``r``."""
+        return self.n_comparisons / (self.n_objects * (self.n_objects - 1) // 2)
+
+    @property
+    def total_votes(self) -> int:
+        """Total individual answers collected: ``l * w``."""
+        return self.n_comparisons * self.budget.workers_per_task
+
+    @property
+    def spend(self) -> float:
+        """Actual money spent (may undershoot the budget)."""
+        return self.budget.cost_of(self.n_comparisons)
+
+
+def plan_for_budget(
+    n_objects: int,
+    budget: BudgetModel,
+) -> BudgetPlan:
+    """Resolve the largest feasible plan under a given budget.
+
+    Clips the affordable count into ``[n - 1, C(n, 2)]``; raises
+    :class:`BudgetError` when even the spanning minimum ``n - 1`` is
+    unaffordable (no full ranking can possibly be inferred).
+    """
+    affordable = budget.affordable_comparisons()
+    max_pairs = n_objects * (n_objects - 1) // 2
+    if affordable < n_objects - 1:
+        raise BudgetError(
+            f"budget affords only {affordable} comparisons but a connected "
+            f"plan over {n_objects} objects needs at least {n_objects - 1}"
+        )
+    return BudgetPlan(
+        n_objects=n_objects,
+        n_comparisons=min(affordable, max_pairs),
+        budget=budget,
+    )
+
+
+def plan_for_selection_ratio(
+    n_objects: int,
+    selection_ratio: float,
+    workers_per_task: int,
+    reward: float = 0.025,
+) -> BudgetPlan:
+    """Resolve a plan from a target selection ratio (experiment-style).
+
+    ``n_comparisons = round(r * C(n, 2))`` clipped into the feasible
+    range; the budget is derived as the exact spend.  This is how every
+    benchmark translates the paper's ``r`` axis into concrete runs.
+    """
+    if not 0.0 < selection_ratio <= 1.0:
+        raise BudgetError(
+            f"selection_ratio must be in (0, 1], got {selection_ratio}"
+        )
+    max_pairs = n_objects * (n_objects - 1) // 2
+    n_comparisons = int(round(selection_ratio * max_pairs))
+    n_comparisons = max(n_objects - 1, min(n_comparisons, max_pairs))
+    budget = BudgetModel.required_budget(
+        n_comparisons, workers_per_task=workers_per_task, reward=reward
+    )
+    return BudgetPlan(
+        n_objects=n_objects, n_comparisons=n_comparisons, budget=budget
+    )

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's main entry points:
+
+``rank``
+    Infer a full ranking from an AMT-style votes CSV
+    (``worker_id,winner,loser`` rows).
+
+``plan``
+    Resolve a budget into a concrete comparison plan and audit its
+    fairness / HP-likelihood (Sec. IV requirements).
+
+``simulate``
+    Run one fully simulated end-to-end experiment (the paper's Sec. VI
+    setting) and print accuracy plus per-step timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .assignment import generate_assignment, verify_assignment
+from .budget import BudgetModel, plan_for_budget, plan_for_selection_ratio
+from .config import PipelineConfig, PropagationConfig
+from .datasets import load_votes_csv, make_scenario
+from .exceptions import ReproError
+from .experiments import run_pipeline_arm
+from .inference import infer_ranking
+from .workers import QualityLevel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Budget-constrained non-interactive crowdsourced "
+                    "ranking (ICDCS 2017 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    rank = commands.add_parser(
+        "rank", help="infer a full ranking from a votes CSV"
+    )
+    rank.add_argument("votes_csv", help="CSV with worker_id,winner,loser rows")
+    rank.add_argument("--n-objects", type=int, default=None,
+                      help="object-universe size (default: inferred)")
+    rank.add_argument("--search", choices=["saps", "taps",
+                                           "branch_and_bound"],
+                      default="saps", help="Step-4 search algorithm")
+    rank.add_argument("--alpha", type=float, default=0.5,
+                      help="Step-3 direct/indirect blend (default 0.5)")
+    rank.add_argument("--top-k", type=int, default=None, metavar="K",
+                      help="report only the top-K objects")
+    rank.add_argument("--save", metavar="PATH", default=None,
+                      help="also persist the full result as JSON "
+                           "(repro.io schema)")
+    rank.add_argument("--seed", type=int, default=None, help="random seed")
+    rank.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON")
+
+    plan = commands.add_parser(
+        "plan", help="resolve a budget into a comparison plan and audit it"
+    )
+    plan.add_argument("n_objects", type=int)
+    group = plan.add_mutually_exclusive_group(required=True)
+    group.add_argument("--budget", type=float,
+                       help="total budget in currency units")
+    group.add_argument("--ratio", type=float,
+                       help="target selection ratio in (0, 1]")
+    plan.add_argument("--workers-per-task", type=int, default=5)
+    plan.add_argument("--reward", type=float, default=0.025,
+                      help="reward per single comparison (default $0.025)")
+    plan.add_argument("--seed", type=int, default=None)
+    plan.add_argument("--json", action="store_true")
+
+    simulate = commands.add_parser(
+        "simulate", help="run one simulated end-to-end experiment"
+    )
+    simulate.add_argument("n_objects", type=int)
+    simulate.add_argument("--ratio", type=float, default=0.1)
+    simulate.add_argument("--workers", type=int, default=50,
+                          help="worker-pool size")
+    simulate.add_argument("--workers-per-task", type=int, default=5)
+    simulate.add_argument("--quality", choices=["gaussian", "uniform"],
+                          default="gaussian")
+    simulate.add_argument("--level", choices=["high", "medium", "low"],
+                          default="medium")
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--json", action="store_true")
+
+    reproduce = commands.add_parser(
+        "reproduce",
+        help="regenerate a paper artifact's data series (CSV or table)",
+    )
+    reproduce.add_argument(
+        "artifact",
+        choices=["fig5-ratio", "fig5-objects", "table1"],
+        help="which artifact to regenerate (laptop-scale grid)",
+    )
+    reproduce.add_argument("--out", metavar="CSV", default=None,
+                           help="write the records to a CSV file")
+    reproduce.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    votes = load_votes_csv(args.votes_csv, n_objects=args.n_objects)
+    config = PipelineConfig(
+        search=args.search,
+        propagation=PropagationConfig(alpha=args.alpha),
+    )
+    result = infer_ranking(votes, config, rng=args.seed)
+    if args.save:
+        from .io import save_result
+
+        save_result(result, args.save)
+    shown = list(result.ranking.order)
+    if args.top_k is not None:
+        if not 1 <= args.top_k <= len(shown):
+            print(f"error: --top-k must be in [1, {len(shown)}]",
+                  file=sys.stderr)
+            return 2
+        shown = shown[: args.top_k]
+    if args.json:
+        print(json.dumps({
+            "ranking": shown,
+            "log_preference": result.log_preference,
+            "worker_quality": {str(k): v
+                               for k, v in result.worker_quality.items()},
+            "metadata": {k: v for k, v in result.metadata.items()
+                         if isinstance(v, (int, float, str, bool))},
+        }, indent=2))
+    else:
+        print(f"objects: {votes.n_objects}   votes: {len(votes)}   "
+              f"workers: {len(votes.workers())}")
+        label = ("ranking (most preferred first)"
+                 if args.top_k is None else f"top {args.top_k}")
+        print(f"{label}: {shown}")
+        print(f"log preference: {result.log_preference:.4f}")
+        worst = sorted(result.worker_quality.items(), key=lambda kv: kv[1])
+        print("least reliable workers: "
+              + ", ".join(f"{k} (q={v:.2f})" for k, v in worst[:5]))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.budget is not None:
+        budget = BudgetModel(total=args.budget,
+                             workers_per_task=args.workers_per_task,
+                             reward=args.reward)
+        plan = plan_for_budget(args.n_objects, budget)
+    else:
+        plan = plan_for_selection_ratio(
+            args.n_objects, args.ratio,
+            workers_per_task=args.workers_per_task, reward=args.reward,
+        )
+    assignment = generate_assignment(plan, rng=args.seed)
+    report = verify_assignment(assignment)
+    payload = {
+        "n_objects": plan.n_objects,
+        "n_comparisons": plan.n_comparisons,
+        "selection_ratio": round(plan.selection_ratio, 4),
+        "total_votes": plan.total_votes,
+        "spend": round(plan.spend, 4),
+        "n_hits": assignment.n_hits,
+        "degree_min": report.degree_min,
+        "degree_max": report.degree_max,
+        "fair": report.fair,
+        "near_fair": report.near_fair,
+        "connected": report.connected,
+        "hp_likelihood_bound": report.hp_likelihood_bound,
+        "all_requirements_met": report.all_requirements_met,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:<22} {value}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = make_scenario(
+        args.n_objects, args.ratio,
+        n_workers=args.workers, workers_per_task=args.workers_per_task,
+        quality=args.quality, level=QualityLevel(args.level), rng=args.seed,
+    )
+    record = run_pipeline_arm(scenario, PipelineConfig(), rng=args.seed)
+    payload = record.as_row()
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for key, value in payload.items():
+            print(f"{key:<20} {value}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments import (
+        export_records_csv,
+        format_records,
+        run_baseline_arm,
+        run_pipeline_arm,
+    )
+    from .experiments.runner import collect_votes
+
+    records = []
+    if args.artifact == "fig5-ratio":
+        for ratio in (0.1, 0.3, 0.5):
+            for quality in ("gaussian", "uniform"):
+                scenario = make_scenario(
+                    80, ratio, n_workers=40, workers_per_task=5,
+                    quality=quality, rng=args.seed + int(ratio * 100),
+                )
+                records.append(run_pipeline_arm(
+                    scenario, PipelineConfig(),
+                    rng=args.seed + int(ratio * 100),
+                ))
+        title = "Fig. 5 (right): accuracy vs selection ratio (n=80)"
+    elif args.artifact == "fig5-objects":
+        for n in (50, 100, 150):
+            for quality in ("gaussian", "uniform"):
+                scenario = make_scenario(
+                    n, 0.1, n_workers=40, workers_per_task=5,
+                    quality=quality, rng=args.seed + n,
+                )
+                records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                                rng=args.seed + n))
+        title = "Fig. 5 (left): accuracy vs #objects (r=0.1)"
+    else:  # table1
+        for n in (60, 100):
+            scenario = make_scenario(n, 0.5, n_workers=40,
+                                     workers_per_task=5,
+                                     rng=args.seed + n)
+            votes = collect_votes(scenario, rng=args.seed + n)
+            records.append(run_pipeline_arm(scenario, PipelineConfig(),
+                                            rng=args.seed + n, votes=votes))
+            for name in ("rc", "qs"):
+                records.append(run_baseline_arm(scenario, name,
+                                                rng=args.seed + n,
+                                                votes=votes))
+        title = "Table I (laptop scale): SAPS vs RC vs QS, r=0.5"
+    print(format_records(
+        records,
+        columns=["algorithm", "n", "r", "quality", "accuracy", "seconds"],
+        title=title,
+    ))
+    if args.out:
+        export_records_csv(records, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "rank": _cmd_rank,
+        "plan": _cmd_plan,
+        "simulate": _cmd_simulate,
+        "reproduce": _cmd_reproduce,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Datasets: synthetic ground truths and the AMT study's stand-ins.
+
+* :mod:`~repro.datasets.synthetic` — random ground-truth permutations
+  and fully simulated preference scenarios (Sec. VI-A4);
+* :mod:`~repro.datasets.images` — a synthetic substitute for the paper's
+  PubFig "how much did the celebrity smile" study: latent attribute
+  scores with near-tie selection, so the crowd genuinely conflicts;
+* :mod:`~repro.datasets.amt` — CSV round-trip in an AMT-results-like
+  format, so real crowd exports can be fed to the pipeline.
+"""
+
+from .synthetic import SimulationScenario, make_scenario
+from .images import ImageRankingStudy, make_image_study
+from .amt import load_votes_csv, save_votes_csv
+
+__all__ = [
+    "SimulationScenario",
+    "make_scenario",
+    "ImageRankingStudy",
+    "make_image_study",
+    "load_votes_csv",
+    "save_votes_csv",
+]

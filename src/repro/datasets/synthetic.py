@@ -1,0 +1,107 @@
+"""Synthetic simulation scenarios (Sec. VI-A4).
+
+A :class:`SimulationScenario` bundles everything one simulated experiment
+arm needs: a random ground-truth permutation, a worker pool drawn from
+one of the paper's quality presets, and the knobs (``n``, ``r``, ``w``)
+the evaluation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from ..rng import SeedLike, ensure_rng
+from ..types import Ranking
+from ..workers import (
+    QualityDistribution,
+    QualityLevel,
+    WorkerPool,
+    gaussian_preset,
+    uniform_preset,
+)
+
+
+@dataclass(frozen=True)
+class SimulationScenario:
+    """One fully specified simulated experiment arm.
+
+    Attributes
+    ----------
+    ground_truth:
+        The latent true ranking.
+    pool:
+        The simulated worker pool.
+    selection_ratio:
+        The paper's ``r``.
+    workers_per_task:
+        The paper's ``w``.
+    quality_name:
+        Human-readable quality description (for reports).
+    """
+
+    ground_truth: Ranking
+    pool: WorkerPool
+    selection_ratio: float
+    workers_per_task: int
+    quality_name: str
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.ground_truth)
+
+
+def make_scenario(
+    n_objects: int,
+    selection_ratio: float,
+    *,
+    n_workers: int = 50,
+    workers_per_task: int = 5,
+    quality: str = "gaussian",
+    level: QualityLevel = QualityLevel.MEDIUM,
+    distribution: Optional[QualityDistribution] = None,
+    rng: SeedLike = None,
+) -> SimulationScenario:
+    """Build a scenario from the paper's presets.
+
+    Parameters
+    ----------
+    quality:
+        ``"gaussian"`` or ``"uniform"`` — selects the preset family
+        (ignored when ``distribution`` is given explicitly).
+    level:
+        High / medium / low worker quality.
+    distribution:
+        Explicit quality distribution overriding the presets.
+    """
+    if n_objects < 2:
+        raise ConfigurationError(f"need at least 2 objects, got {n_objects}")
+    if not 0 < selection_ratio <= 1:
+        raise ConfigurationError(
+            f"selection_ratio must be in (0, 1], got {selection_ratio}"
+        )
+    if workers_per_task > n_workers:
+        raise ConfigurationError(
+            f"workers_per_task={workers_per_task} exceeds pool size "
+            f"{n_workers}"
+        )
+    generator = ensure_rng(rng)
+    if distribution is None:
+        if quality == "gaussian":
+            distribution = gaussian_preset(level)
+        elif quality == "uniform":
+            distribution = uniform_preset(level)
+        else:
+            raise ConfigurationError(
+                f"quality must be 'gaussian' or 'uniform', got {quality!r}"
+            )
+    ground_truth = Ranking.random(n_objects, generator)
+    pool = WorkerPool.from_distribution(n_workers, distribution, generator)
+    return SimulationScenario(
+        ground_truth=ground_truth,
+        pool=pool,
+        selection_ratio=selection_ratio,
+        workers_per_task=workers_per_task,
+        quality_name=distribution.describe(),
+    )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at the application boundary while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class BudgetError(ConfigurationError):
+    """The crowdsourcing budget cannot satisfy the requested task plan.
+
+    Raised, for example, when the budget affords fewer comparisons than the
+    minimum required for a connected task graph (``n - 1`` edges) or more
+    than all ``C(n, 2)`` pairs.
+    """
+
+
+class GraphError(ReproError):
+    """A structural graph invariant was violated (unknown vertex, bad edge)."""
+
+
+class EdgeNotFoundError(GraphError):
+    """The requested edge does not exist in the graph."""
+
+
+class VertexNotFoundError(GraphError):
+    """The requested vertex does not exist in the graph."""
+
+
+class AssignmentError(ReproError):
+    """Task-assignment (HIT generation) failed to satisfy its requirements."""
+
+
+class InferenceError(ReproError):
+    """Result inference failed (no Hamiltonian path, empty vote set, ...)."""
+
+
+class ConvergenceError(InferenceError):
+    """An iterative algorithm exhausted its iteration budget without
+    converging and the caller requested strict convergence."""
+
+
+class DataFormatError(ReproError):
+    """An external data file (e.g. AMT CSV export) is malformed."""

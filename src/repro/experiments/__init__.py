@@ -1,0 +1,35 @@
+"""Experiment harness: one runner per paper table/figure (DESIGN.md §3).
+
+* :mod:`~repro.experiments.scenarios` — the parameter grids of every
+  experiment (E1-E8), with scaled-down laptop defaults and a
+  ``REPRO_PAPER_SCALE=1`` switch for full paper-size runs;
+* :mod:`~repro.experiments.runner` — executes pipeline and baseline arms
+  over scenarios and returns flat records;
+* :mod:`~repro.experiments.reporting` — renders records as the aligned
+  text tables / series the benchmarks print.
+"""
+
+from .runner import (
+    ExperimentRecord,
+    run_baseline_arm,
+    run_pipeline_arm,
+)
+from .scenarios import paper_scale, scaled
+from .reporting import format_records, format_series
+from .export import export_records_csv, export_records_json, load_records_csv
+from .replicate import AggregateRecord, replicate
+
+__all__ = [
+    "AggregateRecord",
+    "replicate",
+    "export_records_csv",
+    "export_records_json",
+    "load_records_csv",
+    "ExperimentRecord",
+    "run_baseline_arm",
+    "run_pipeline_arm",
+    "paper_scale",
+    "scaled",
+    "format_records",
+    "format_series",
+]

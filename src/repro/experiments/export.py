@@ -1,0 +1,82 @@
+"""Artifact export: write experiment records to CSV / JSON.
+
+The benchmarks print human-readable tables; this module writes the same
+records to machine-readable files so downstream plotting (matplotlib,
+gnuplot, a notebook) can regenerate the paper's figures from committed
+data instead of re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..exceptions import DataFormatError
+from .runner import ExperimentRecord
+
+
+def export_records_csv(
+    records: Sequence[ExperimentRecord],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write records as CSV (header + one row per record).
+
+    ``columns`` defaults to the union of all row keys in first-seen
+    order; missing cells are left empty.
+
+    Raises
+    ------
+    DataFormatError
+        On an empty record list (an empty artifact is always a bug in
+        the calling sweep).
+    """
+    if not records:
+        raise DataFormatError("refusing to export zero records")
+    rows = [record.as_row() for record in records]
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(col, "") for col in columns])
+
+
+def export_records_json(
+    records: Sequence[ExperimentRecord],
+    path: Union[str, Path],
+    *,
+    indent: int = 2,
+) -> None:
+    """Write records as a JSON array of flat objects."""
+    if not records:
+        raise DataFormatError("refusing to export zero records")
+    path = Path(path)
+    payload = [record.as_row() for record in records]
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=indent, default=str)
+        handle.write("\n")
+
+
+def load_records_csv(path: Union[str, Path]) -> List[dict]:
+    """Read an exported CSV back as a list of dicts (strings as-is).
+
+    Round-trip helper for notebooks and tests; numeric parsing is the
+    consumer's concern (column semantics vary by experiment).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        rows = list(reader)
+    if not rows:
+        raise DataFormatError(f"{path}: no data rows")
+    return rows

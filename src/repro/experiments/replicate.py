@@ -1,0 +1,127 @@
+"""Multi-seed replication: mean/std aggregation of experiment arms.
+
+Single-seed sweeps (the paper reports point estimates) can mislead on
+noisy arms; :func:`replicate` runs one arm across independent seeds and
+returns an :class:`AggregateRecord` with mean, standard deviation and
+the raw values — used by the robustness-minded benchmarks and available
+to downstream users for error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import SeedLike, ensure_rng, spawn_rngs
+from .runner import ExperimentRecord
+
+
+@dataclass(frozen=True)
+class AggregateRecord:
+    """Mean/std summary of one replicated experiment arm.
+
+    Attributes
+    ----------
+    algorithm / n_objects / selection_ratio / quality:
+        Copied from the underlying records (must agree across repeats).
+    accuracies / seconds:
+        The raw per-seed values.
+    """
+
+    algorithm: str
+    n_objects: int
+    selection_ratio: float
+    quality: str
+    accuracies: Sequence[float]
+    seconds: Sequence[float]
+
+    @property
+    def n_repeats(self) -> int:
+        """Number of replicated runs."""
+        return len(self.accuracies)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean accuracy across seeds."""
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        """Sample standard deviation of accuracy (0 for one repeat)."""
+        if len(self.accuracies) < 2:
+            return 0.0
+        return float(np.std(self.accuracies, ddof=1))
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean wall-clock seconds across seeds."""
+        return float(np.mean(self.seconds))
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation half-width of the accuracy CI."""
+        if self.n_repeats < 2:
+            return 0.0
+        return z * self.std_accuracy / float(np.sqrt(self.n_repeats))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm} n={self.n_objects} "
+            f"r={self.selection_ratio:.2f}: accuracy "
+            f"{self.mean_accuracy:.4f} ± {self.std_accuracy:.4f} "
+            f"({self.n_repeats} seeds, {self.mean_seconds:.2f}s avg)"
+        )
+
+
+def replicate(
+    arm: Callable[[SeedLike], ExperimentRecord],
+    repeats: int,
+    rng: SeedLike = None,
+) -> AggregateRecord:
+    """Run ``arm(seed_like)`` across ``repeats`` independent streams.
+
+    Parameters
+    ----------
+    arm:
+        A callable that executes one full experiment run with the given
+        randomness and returns an :class:`ExperimentRecord` (typically a
+        closure over :func:`run_pipeline_arm` / :func:`run_baseline_arm`
+        plus a scenario factory).
+    repeats:
+        Number of independent runs (>= 1).
+    rng:
+        Parent seed-like; children are spawned from it.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``repeats < 1`` or the records disagree on their arm identity
+        (which would mean the caller's closure is not a single arm).
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    parent = ensure_rng(rng)
+    records: List[ExperimentRecord] = []
+    for child in spawn_rngs(parent, repeats):
+        records.append(arm(child))
+
+    first = records[0]
+    for record in records[1:]:
+        if (record.algorithm, record.n_objects) != (first.algorithm,
+                                                    first.n_objects):
+            raise ConfigurationError(
+                "replicate() received records from different arms: "
+                f"{(first.algorithm, first.n_objects)} vs "
+                f"{(record.algorithm, record.n_objects)}"
+            )
+    return AggregateRecord(
+        algorithm=first.algorithm,
+        n_objects=first.n_objects,
+        selection_ratio=first.selection_ratio,
+        quality=first.quality,
+        accuracies=tuple(record.accuracy for record in records),
+        seconds=tuple(record.seconds for record in records),
+    )

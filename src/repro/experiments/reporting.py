@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment records.
+
+The benchmarks regenerate the paper's tables and figure series as aligned
+monospace tables, printed to stdout and asserted on in tests.  No
+plotting dependency: a figure is reported as its underlying series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .runner import ExperimentRecord
+
+
+def format_records(
+    records: Sequence[ExperimentRecord],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render records as an aligned text table.
+
+    ``columns`` defaults to the union of all row keys, in first-seen
+    order.  Missing cells render as ``-``.
+    """
+    rows = [record.as_row() for record in records]
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "-")
+            text = _format_cell(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[col]) for cell, col in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    records: Sequence[ExperimentRecord],
+    x: str,
+    y: str,
+    group_by: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render records as ``x -> y`` series, one line per group.
+
+    This is the text form of a paper figure: e.g. Fig. 5 becomes one
+    series per quality distribution with selection ratio on the x axis.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    groups: Dict[object, List[Dict[str, object]]] = {}
+    for record in records:
+        row = record.as_row()
+        key = row.get(group_by) if group_by else "series"
+        groups.setdefault(key, []).append(row)
+    for key in groups:
+        points = sorted(groups[key], key=lambda row: row.get(x, 0))
+        series = ", ".join(
+            f"{_format_cell(p.get(x))}:{_format_cell(p.get(y))}" for p in points
+        )
+        lines.append(f"{key}: {series}")
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)

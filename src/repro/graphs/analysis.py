@@ -1,0 +1,176 @@
+"""Analytical results from Sections III-IV: Eq. 1, Eq. 2 and Theorem 4.4.
+
+These functions let the task-assignment layer *reason* about a candidate
+task graph before any crowdsourcing happens: how many preference-graph
+instances it admits, how likely each vertex is to end up as an in-/out-node
+(the fairness criterion), and a lower bound on the probability that the
+preference closure stays Hamiltonian-path-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import GraphError
+from .task_graph import TaskGraph
+
+
+def count_preference_instances(task_graph: TaskGraph) -> int:
+    """Eq. 1: the number ``N = 3^l`` of preference-graph instances.
+
+    Each task edge independently takes one of three permutations in
+    ``G_P`` (forward, backward, or both directions under conflicting
+    votes).
+    """
+    return 3 ** task_graph.n_edges
+
+
+def prob_in_or_out_node(degree: int) -> float:
+    """Eq. 2: ``Prob(v^IO) = 2 / 3^d`` for a vertex of degree ``d``.
+
+    The probability (over uniformly random preference-graph instances)
+    that a vertex with ``d`` incident task edges becomes an in-node or an
+    out-node, i.e. is pinned to the last or first ranking position.
+    """
+    if degree < 0:
+        raise GraphError(f"degree must be non-negative, got {degree}")
+    if degree == 0:
+        # An isolated vertex is trivially both; the paper never produces
+        # these (Algorithm 1 seeds a Hamiltonian path), but the formula's
+        # d=0 limit is 2 which is not a probability, so cap it.
+        return 1.0
+    return 2.0 / (3.0**degree)
+
+
+def in_out_probabilities(task_graph: TaskGraph) -> List[float]:
+    """Eq. 2 evaluated for every vertex of a task graph."""
+    return [prob_in_or_out_node(d) for d in task_graph.degrees()]
+
+
+def is_fair(task_graph: TaskGraph, *, strict: bool = True) -> bool:
+    """Theorem 4.1 fairness check.
+
+    A task plan is *fair* when every vertex has equal probability of being
+    an in-/out-node, which by Eq. 2 holds iff all degrees are equal.  With
+    ``strict=False`` the near-regular relaxation (degrees differ by at
+    most one, unavoidable when ``n`` does not divide ``2*l``) passes too.
+    """
+    return task_graph.is_regular() if strict else task_graph.is_near_regular()
+
+
+def fairness_spread(task_graph: TaskGraph) -> float:
+    """Max-min spread of Eq. 2 probabilities (0 for a perfectly fair plan).
+
+    A scalar unfairness measure for the ablation benches: star graphs
+    score high, regular graphs score 0.
+    """
+    probs = in_out_probabilities(task_graph)
+    return max(probs) - min(probs)
+
+
+def hp_likelihood_lower_bound(
+    n_vertices: int, d_min: int, d_max: int
+) -> float:
+    """Theorem 4.4's lower bound ``Pr_l`` on HP-compatibility.
+
+    ``Pr_l = (1 - 2/3^d_min)^n * [1 + 2n/(3^d_max - 2)
+    + n(n-1) / (2 (3^d_max - 2)^2)]``
+    is a lower bound on the probability that the transitive closure of a
+    random preference instance contains at most one in-node and at most
+    one out-node (a necessary condition for a Hamiltonian path).  The
+    bound is increasing in ``d_min`` and decreasing in ``d_max``, which is
+    why Algorithm 1 targets a regular degree ``2*l/n``.
+
+    Note the bound can exceed 1 for large degrees (it is a bound-shaped
+    score, not a calibrated probability); callers that need a probability
+    should clamp.
+    """
+    if n_vertices < 2:
+        raise GraphError(f"need at least 2 vertices, got {n_vertices}")
+    if not 1 <= d_min <= d_max:
+        raise GraphError(
+            f"need 1 <= d_min <= d_max, got d_min={d_min}, d_max={d_max}"
+        )
+    base = (1.0 - 2.0 / (3.0**d_min)) ** n_vertices
+    denom = 3.0**d_max - 2.0
+    bracket = (
+        1.0
+        + 2.0 * n_vertices / denom
+        + n_vertices * (n_vertices - 1) / (2.0 * denom**2)
+    )
+    return base * bracket
+
+
+def hp_likelihood_of(task_graph: TaskGraph) -> float:
+    """Theorem 4.4 bound evaluated on a concrete task graph."""
+    d_min, d_max = task_graph.degree_bounds()
+    return hp_likelihood_lower_bound(task_graph.n_vertices, d_min, d_max)
+
+
+def ideal_degree(n_objects: int, n_edges: int) -> float:
+    """The HP-likelihood-maximising common degree ``2*l/n`` (Eq. 3).
+
+    ``sum(degrees) = 2*l`` forces ``d_min <= 2*l/n <= d_max``; the bound
+    ``Pr_l`` is maximised when both collapse onto ``2*l/n``.
+    """
+    if n_objects < 2:
+        raise GraphError(f"need at least 2 objects, got {n_objects}")
+    if n_edges < 1:
+        raise GraphError(f"need at least 1 edge, got {n_edges}")
+    return 2.0 * n_edges / n_objects
+
+
+def degree_histogram(task_graph: TaskGraph) -> Dict[int, int]:
+    """Map of degree -> vertex count (a fairness diagnostic).
+
+    A fair plan has a single bucket; a near-regular one has two
+    adjacent buckets.
+    """
+    histogram: Dict[int, int] = {}
+    for degree in task_graph.degrees():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def diameter(task_graph: TaskGraph) -> int:
+    """Longest shortest path of a connected task graph (BFS from all).
+
+    The propagation depth needed for full transitive coverage is exactly
+    this; the adaptive-hops heuristic approximates it from the density.
+
+    Raises
+    ------
+    GraphError
+        If the graph is disconnected (the diameter is undefined and the
+        plan cannot support a full ranking anyway).
+    """
+    n = task_graph.n_vertices
+    longest = 0
+    for source in range(n):
+        distance = [-1] * n
+        distance[source] = 0
+        queue = [source]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for v in task_graph.neighbors(u):
+                if distance[v] < 0:
+                    distance[v] = distance[u] + 1
+                    queue.append(v)
+        eccentricity = max(distance)
+        if min(distance) < 0:
+            raise GraphError("diameter undefined: task graph disconnected")
+        longest = max(longest, eccentricity)
+    return longest
+
+
+def degree_feasible(n_objects: int, n_edges: int) -> bool:
+    """Whether a simple graph with ``n`` vertices and ``l`` edges exists
+    whose degrees are all ``floor`` or ``ceil`` of ``2*l/n``.
+
+    Requires ``l <= C(n, 2)`` and (for connectivity / HP seeding)
+    ``l >= n - 1``.
+    """
+    max_edges = n_objects * (n_objects - 1) // 2
+    return n_objects - 1 <= n_edges <= max_edges

@@ -1,0 +1,312 @@
+"""Task-graph generators.
+
+:func:`near_regular_task_graph` is the structural core of the paper's
+Algorithm 1 (Sec. IV-B): seed a random Hamiltonian path (so a full ranking
+is reachable at all), then top every vertex up to the ideal common degree
+``2*l/n`` (Eq. 3).  The top-up is implemented with a configuration-model
+stub matching plus edge-swap repair, which realises the exact near-regular
+degree sequence in expected O(l) time — the literal per-vertex random
+picking in the paper's pseudo-code is quadratic and can dead-end.
+
+:func:`star_task_graph` and :func:`erdos_renyi_task_graph` are deliberately
+*unfair* / *irregular* baselines used by the fairness ablation
+(DESIGN.md E8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import AssignmentError, GraphError
+from ..rng import SeedLike, ensure_rng
+from .task_graph import TaskGraph
+
+
+def random_hamiltonian_path(n_objects: int, rng: SeedLike = None) -> List[int]:
+    """A uniformly random vertex order, used as the HP seed of Algorithm 1."""
+    if n_objects < 2:
+        raise GraphError(f"need at least 2 objects, got {n_objects}")
+    generator = ensure_rng(rng)
+    return [int(v) for v in generator.permutation(n_objects)]
+
+
+def near_regular_task_graph(
+    n_objects: int,
+    n_edges: int,
+    rng: SeedLike = None,
+    *,
+    seed_path: Optional[Sequence[int]] = None,
+    max_attempts: int = 20,
+) -> TaskGraph:
+    """Algorithm 1's construction: HP seed + near-regular degree top-up.
+
+    Produces a connected task graph with exactly ``n_edges`` edges whose
+    degrees differ by at most 1 (exactly regular whenever ``n_objects``
+    divides ``2 * n_edges``), containing a Hamiltonian path.
+
+    Parameters
+    ----------
+    n_objects:
+        Number of objects ``n``.
+    n_edges:
+        Budgeted number of unique comparisons ``l``; must satisfy
+        ``n - 1 <= l <= C(n, 2)``.
+    rng:
+        Seed-like randomness source.
+    seed_path:
+        Optional explicit Hamiltonian path (a permutation of the
+        vertices) to seed with; drawn uniformly at random when omitted.
+    max_attempts:
+        Full-restart budget for the stochastic stub matching before the
+        deterministic greedy fallback takes over.
+
+    Raises
+    ------
+    AssignmentError
+        If ``n_edges`` is outside the feasible range ``[n-1, C(n,2)]``.
+    """
+    max_edges = n_objects * (n_objects - 1) // 2
+    if not n_objects - 1 <= n_edges <= max_edges:
+        raise AssignmentError(
+            f"n_edges={n_edges} infeasible for n={n_objects}: need "
+            f"{n_objects - 1} <= l <= {max_edges}"
+        )
+    if seed_path is not None and sorted(seed_path) != list(range(n_objects)):
+        raise AssignmentError(f"seed path is not a permutation of 0..{n_objects - 1}")
+    generator = ensure_rng(rng)
+    for _ in range(max_attempts):
+        path = (
+            list(seed_path)
+            if seed_path is not None
+            else random_hamiltonian_path(n_objects, generator)
+        )
+        graph = _stub_match_build(n_objects, n_edges, path, generator)
+        if graph is not None and graph.is_near_regular():
+            return graph
+    # Deterministic fallback (dense corners where stub repair keeps
+    # colliding): greedy fill, then provably terminating rebalancing.
+    path = (
+        list(seed_path)
+        if seed_path is not None
+        else random_hamiltonian_path(n_objects, generator)
+    )
+    graph = _greedy_build(n_objects, n_edges, path)
+    path_edges = {
+        (a, b) if a < b else (b, a) for a, b in zip(path, path[1:])
+    }
+    _rebalance(graph, path_edges)
+    if not graph.is_near_regular():  # pragma: no cover - rebalance proof
+        raise AssignmentError(
+            f"could not realise a near-regular plan for n={n_objects}, "
+            f"l={n_edges}"
+        )
+    return graph
+
+
+def _target_degrees(
+    n_objects: int, n_edges: int, path_degrees: Sequence[int], generator
+) -> List[int]:
+    """Near-regular degree targets summing to ``2 * n_edges``.
+
+    Every vertex gets ``floor(2l/n)``; the remaining ``2l mod n`` extra
+    units go preferentially to vertices the seed path already loaded
+    (degree 2), which guarantees no vertex's target falls below its seed
+    degree (see DESIGN.md §5 on the fractional ``2l/n`` case).
+    """
+    base = (2 * n_edges) // n_objects
+    extra = 2 * n_edges - base * n_objects
+    targets = [base] * n_objects
+    order = sorted(
+        range(n_objects),
+        key=lambda v: (-path_degrees[v], generator.random()),
+    )
+    for v in order[:extra]:
+        targets[v] += 1
+    return targets
+
+
+def _stub_match_build(
+    n_objects: int, n_edges: int, path: Sequence[int], generator
+) -> Optional[TaskGraph]:
+    """One stochastic construction attempt; ``None`` when repair fails."""
+    graph = TaskGraph(n_objects)
+    path_edges = set()
+    for a, b in zip(path, path[1:]):
+        graph.add_edge(a, b)
+        path_edges.add((a, b) if a < b else (b, a))
+    path_degrees = graph.degrees()
+    targets = _target_degrees(n_objects, n_edges, path_degrees, generator)
+
+    stubs: List[int] = []
+    for v in range(n_objects):
+        residual = targets[v] - path_degrees[v]
+        if residual < 0:  # pragma: no cover - excluded by target assignment
+            return None
+        stubs.extend([v] * residual)
+    if len(stubs) != 2 * (n_edges - graph.n_edges):
+        raise AssignmentError("internal error: stub count mismatch")
+
+    generator.shuffle(stubs)
+    edge_list: List[Tuple[int, int]] = list(graph.edges())
+    pending: List[Tuple[int, int]] = []
+    for k in range(0, len(stubs), 2):
+        u, v = stubs[k], stubs[k + 1]
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            edge_list.append((u, v) if u < v else (v, u))
+        else:
+            pending.append((u, v))
+
+    for u, v in pending:
+        if not _rewire(graph, edge_list, path_edges, u, v, generator):
+            return None
+    return graph
+
+
+def _rewire(
+    graph: TaskGraph, edge_list, path_edges, u: int, v: int, generator
+) -> bool:
+    """Place the conflicting stub pair ``(u, v)`` via a double edge swap.
+
+    Removes a random existing edge ``(a, b)`` and inserts ``(u, a)`` and
+    ``(v, b)`` instead, which preserves every vertex degree while giving
+    ``u`` and ``v`` their missing incidences.  Standard configuration-
+    model repair; fails only on pathologically dense corners, in which
+    case the caller restarts.
+    """
+    for _ in range(200):
+        idx = int(generator.integers(len(edge_list)))
+        a, b = edge_list[idx]
+        if generator.random() < 0.5:
+            a, b = b, a
+        if u == a or v == b or u == b or v == a:
+            continue
+        if graph.has_edge(u, a) or graph.has_edge(v, b):
+            continue
+        # Refusing to remove seed-path edges keeps the HP guarantee
+        # unconditional (the swap preserves degrees either way).
+        if ((a, b) if a < b else (b, a)) in path_edges:
+            continue
+        graph.remove_edge(a, b)
+        graph.add_edge(u, a)
+        graph.add_edge(v, b)
+        edge_list[idx] = (u, a) if u < a else (a, u)
+        edge_list.append((v, b) if v < b else (b, v))
+        return True
+    return False
+
+
+def _greedy_build(n_objects: int, n_edges: int, path: Sequence[int]) -> TaskGraph:
+    """Deterministic fallback: HP seed, then repeatedly join the two
+    lowest-degree non-adjacent vertices (heap-free but O(l * n) worst
+    case; only used when stub matching repeatedly fails, i.e. tiny or
+    near-complete graphs where n is small anyway)."""
+    graph = TaskGraph(n_objects)
+    for a, b in zip(path, path[1:]):
+        graph.add_edge(a, b)
+    while graph.n_edges < n_edges:
+        degrees = graph.degrees()
+        order = sorted(range(n_objects), key=lambda v: degrees[v])
+        placed = False
+        for i, u in enumerate(order):
+            for v in order[i + 1 :]:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:  # pragma: no cover - impossible below C(n,2)
+            raise AssignmentError("graph unexpectedly complete")
+    return graph
+
+
+def _rebalance(graph: TaskGraph, path_edges) -> None:
+    """Move edges from max- to min-degree vertices until near-regular.
+
+    While the degree spread is >= 2, pick a max-degree vertex ``hi`` and
+    a min-degree vertex ``lo``; by pigeonhole ``hi`` has a neighbour
+    ``x`` with ``x != lo`` and ``x`` not adjacent to ``lo`` (otherwise
+    ``deg(hi) <= deg(lo) + 1``), so the edge ``(hi, x)`` can be moved to
+    ``(lo, x)``.  Each move strictly reduces the total deviation from
+    the mean degree, so the loop terminates.  Seed-path edges are
+    preferred as keep-candidates so the Hamiltonian seed survives; they
+    are only moved when no other candidate exists (which cannot happen
+    while spread >= 2 and ``deg(hi) >= 4``, since the path contributes
+    at most 2 edges per vertex).
+    """
+    for _ in range(graph.n_vertices * graph.n_edges + 1):
+        degrees = graph.degrees()
+        d_min, d_max = min(degrees), max(degrees)
+        if d_max - d_min <= 1:
+            return
+        hi = degrees.index(d_max)
+        lo = degrees.index(d_min)
+        candidates = [
+            x for x in graph.neighbors(hi)
+            if x != lo and not graph.has_edge(lo, x)
+        ]
+        non_path = [
+            x for x in candidates
+            if ((hi, x) if hi < x else (x, hi)) not in path_edges
+        ]
+        pool = non_path or candidates
+        if not pool:  # pragma: no cover - excluded by pigeonhole
+            raise AssignmentError("rebalance found no movable edge")
+        x = pool[0]
+        graph.remove_edge(hi, x)
+        graph.add_edge(lo, x)
+
+
+def star_task_graph(n_objects: int, center: int = 0) -> TaskGraph:
+    """A star: the unfairest connected plan with ``n - 1`` edges.
+
+    The centre has degree ``n - 1`` (``Prob(v^IO)`` astronomically small)
+    while the leaves have degree 1 (``Prob(v^IO) = 2/3``).  Used by the
+    fairness ablation as a worst case.
+    """
+    if not 0 <= center < n_objects:
+        raise GraphError(f"center {center} outside 0..{n_objects - 1}")
+    graph = TaskGraph(n_objects)
+    for v in range(n_objects):
+        if v != center:
+            graph.add_edge(center, v)
+    return graph
+
+
+def erdos_renyi_task_graph(
+    n_objects: int,
+    n_edges: int,
+    rng: SeedLike = None,
+    *,
+    ensure_connected: bool = True,
+    max_attempts: int = 200,
+) -> TaskGraph:
+    """A uniform random graph with exactly ``n_edges`` edges (G(n, m)).
+
+    Degrees fluctuate freely, so this plan is generally unfair and has a
+    worse Theorem-4.4 bound than :func:`near_regular_task_graph` at equal
+    budget — the ablation benchmark quantifies the accuracy cost.
+    """
+    max_edges = n_objects * (n_objects - 1) // 2
+    if not 1 <= n_edges <= max_edges:
+        raise AssignmentError(f"n_edges={n_edges} infeasible for n={n_objects}")
+    generator = ensure_rng(rng)
+    for _ in range(max_attempts):
+        graph = TaskGraph(n_objects)
+        chosen = set()
+        while len(chosen) < n_edges:
+            i = int(generator.integers(n_objects))
+            j = int(generator.integers(n_objects))
+            if i == j:
+                continue
+            pair = (i, j) if i < j else (j, i)
+            if pair not in chosen:
+                chosen.add(pair)
+                graph.add_edge(*pair)
+        if not ensure_connected or graph.is_connected():
+            return graph
+    raise AssignmentError(
+        f"could not draw a connected G(n={n_objects}, m={n_edges}) in "
+        f"{max_attempts} attempts; increase n_edges"
+    )

@@ -1,0 +1,32 @@
+"""Result inference (Sec. V): Steps 1-4 over collected votes.
+
+* Step 1 lives in :mod:`repro.truth` (truth discovery);
+* :mod:`~repro.inference.smoothing` — Step 2: 1-edge smoothing;
+* :mod:`~repro.inference.propagation` — Step 3: indirect preferences by
+  transitivity, alpha-blend and pair normalisation;
+* :mod:`~repro.inference.taps` — Step 4 exact: threshold-based path
+  search (plus a branch-and-bound exact search for moderate ``n``);
+* :mod:`~repro.inference.saps` — Step 4 heuristic: simulated-annealing
+  path search (Algorithms 2-3);
+* :mod:`~repro.inference.pipeline` — the end-to-end inference pipeline.
+"""
+
+from .smoothing import SmoothingResult, smooth_preferences
+from .propagation import propagate_matrix, propagate_preferences
+from .taps import taps_search, branch_and_bound_search
+from .saps import saps_search
+from .local_search import polish_ranking
+from .pipeline import RankingPipeline, infer_ranking
+
+__all__ = [
+    "SmoothingResult",
+    "smooth_preferences",
+    "propagate_matrix",
+    "propagate_preferences",
+    "taps_search",
+    "branch_and_bound_search",
+    "saps_search",
+    "polish_ranking",
+    "RankingPipeline",
+    "infer_ranking",
+]

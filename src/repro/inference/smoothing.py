@@ -1,0 +1,149 @@
+"""Step 2: preference smoothing of unanimous edges (Sec. V-B).
+
+A *1-edge* ``(i, j)`` means every worker who answered the pair voted
+``i ≺ j`` in this round; the opposite preference is unobserved, and these
+unanimous edges are exactly what creates in-/out-nodes and breaks the
+Hamiltonian-path traversal (Theorem 4.3).  Smoothing estimates the unseen
+reverse preference from the quality of the workers who answered:
+
+    ``w_ij <- w_ij - mean_k(err_k)``,  ``w_ji <- w_ji + mean_k(err_k)``
+
+with ``err_k`` the error of worker ``k`` under ``N(0, sigma_k^2)`` and
+``sigma_k = -log(q_k)``.  Two readings of "the error" are supported: the
+deterministic expectation ``E|eps| = sigma_k * sqrt(2/pi)`` (default) and
+a sampled draw (the paper's stochastic phrasing).  Only 1-edges are
+touched — the paper smooths nothing else, "aiming to minimize the amounts
+of errors introduced by estimation".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..config import SmoothingConfig
+from ..exceptions import InferenceError
+from ..graphs.preference_graph import PreferenceGraph
+from ..rng import SeedLike, ensure_rng
+from ..types import VoteSet, WorkerId, canonical_pair
+
+
+@dataclass(frozen=True)
+class SmoothingResult:
+    """Output of Step 2.
+
+    Attributes
+    ----------
+    graph:
+        The smoothed preference graph (both directions present for every
+        compared pair, weights summing to 1 per pair).
+    n_one_edges:
+        How many unanimous edges were smoothed (the quantity the paper's
+        Fig. 4 discussion ties to the Gaussian-vs-Uniform runtime gap).
+    adjustments:
+        Per smoothed directed edge, the amount moved to the reverse
+        direction.
+    """
+
+    graph: PreferenceGraph
+    n_one_edges: int
+    adjustments: Dict[Tuple[int, int], float]
+
+
+def worker_sigma(quality: float, config: SmoothingConfig) -> float:
+    """The paper's ``sigma_k = -log(q_k)``, clipped into a sane band.
+
+    ``q_k = 1`` would give sigma 0 (no smoothing at all) and ``q_k -> 0``
+    would give an unbounded sigma; both ends are clipped so smoothed
+    weights stay strictly inside (0, 1).
+    """
+    if not 0.0 < quality <= 1.0:
+        raise InferenceError(f"worker quality {quality} outside (0, 1]")
+    sigma = -math.log(quality) if quality < 1.0 else 0.0
+    return float(min(max(sigma, config.sigma_floor), config.sigma_cap))
+
+
+def _worker_error(
+    sigma: float, config: SmoothingConfig, rng: np.random.Generator
+) -> float:
+    """One worker's estimated error mass ``err_k`` on a unanimous edge."""
+    if config.mode == "expected":
+        return sigma * math.sqrt(2.0 / math.pi)
+    return float(abs(rng.normal(0.0, sigma)))
+
+
+def smooth_preferences(
+    graph: PreferenceGraph,
+    votes: VoteSet,
+    worker_quality: Mapping[WorkerId, float],
+    config: SmoothingConfig = SmoothingConfig(),
+    rng: SeedLike = None,
+) -> SmoothingResult:
+    """Smooth every 1-edge of ``graph`` using the answering workers' quality.
+
+    Parameters
+    ----------
+    graph:
+        The direct preference graph from Step 1
+        (:meth:`PreferenceGraph.from_direct_preferences`).
+    votes:
+        The raw votes — needed to find *which* workers answered each
+        unanimous pair.
+    worker_quality:
+        Step 1's estimated ``q_k``.
+    config:
+        Smoothing configuration.
+    rng:
+        Only used in ``mode="sampled"``.
+
+    Raises
+    ------
+    InferenceError
+        If a 1-edge has no recorded votes (inconsistent inputs) or a
+        quality is missing for an answering worker.
+    """
+    generator = ensure_rng(rng)
+    votes_by_pair = votes.by_pair()
+    smoothed = graph.copy()
+    adjustments: Dict[Tuple[int, int], float] = {}
+
+    one_edges = graph.one_edges()
+    for u, v in one_edges:
+        pair = canonical_pair(u, v)
+        pair_votes = votes_by_pair.get(pair)
+        if not pair_votes:
+            raise InferenceError(
+                f"1-edge ({u} -> {v}) has no recorded votes; the vote set "
+                "does not match the preference graph"
+            )
+        errors: List[float] = []
+        for vote in pair_votes:
+            if vote.worker not in worker_quality:
+                raise InferenceError(
+                    f"no quality estimate for worker {vote.worker} "
+                    f"answering pair {pair}"
+                )
+            sigma = worker_sigma(worker_quality[vote.worker], config)
+            errors.append(_worker_error(sigma, config, generator))
+        shift = float(np.mean(errors))
+        # A unanimous edge may become uninformative (0.5/0.5) under very
+        # unreliable workers but must never *invert*: the crowd said
+        # i ≺ j, so the smoothed w_ij stays >= 0.5.  The lower clip keeps
+        # both directions strictly positive (strong connectivity).
+        shift = min(max(shift, config.min_weight), 0.5)
+
+        smoothed.remove_edge(u, v)
+        smoothed.add_edge(u, v, 1.0 - shift)
+        if smoothed.has_edge(v, u):  # pragma: no cover - 1-edge => absent
+            smoothed.remove_edge(v, u)
+        smoothed.add_edge(v, u, shift)
+        adjustments[(u, v)] = shift
+
+    return SmoothingResult(
+        graph=smoothed,
+        n_one_edges=len(one_edges),
+        adjustments=adjustments,
+    )

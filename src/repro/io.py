@@ -1,0 +1,97 @@
+"""Persistence: save and load inference results as JSON.
+
+Crowdsourcing runs cost money; their inference outputs deserve durable
+storage.  The JSON schema is explicit and versioned so files survive
+library upgrades:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.inference_result/1",
+      "ranking": [3, 0, 2, 1],
+      "log_preference": -1.234,
+      "worker_quality": {"0": 0.97},
+      "direct_preferences": {"0,1": 0.8},
+      "step_seconds": {"search": 0.5},
+      "metadata": {"search_algorithm": "saps"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .exceptions import DataFormatError
+from .types import InferenceResult, Ranking
+
+#: Current schema tag written to / required from files.
+SCHEMA = "repro.inference_result/1"
+
+
+def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
+    """Write an inference result as versioned JSON."""
+    payload = {
+        "schema": SCHEMA,
+        "ranking": list(result.ranking.order),
+        "log_preference": result.log_preference,
+        "worker_quality": {
+            str(worker): quality
+            for worker, quality in sorted(result.worker_quality.items())
+        },
+        "direct_preferences": {
+            f"{i},{j}": value
+            for (i, j), value in sorted(result.direct_preferences.items())
+        },
+        "step_seconds": dict(result.step_seconds),
+        "metadata": {
+            key: value for key, value in result.metadata.items()
+            if isinstance(value, (int, float, str, bool, type(None)))
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_result(path: Union[str, Path]) -> InferenceResult:
+    """Read an inference result saved by :func:`save_result`.
+
+    Raises
+    ------
+    DataFormatError
+        On malformed JSON, a wrong/missing schema tag, or invalid
+        fields (non-permutation ranking, malformed pair keys).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataFormatError(f"{path}: invalid JSON ({error})") from None
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise DataFormatError(
+            f"{path}: expected schema {SCHEMA!r}, got "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r}"
+        )
+    try:
+        ranking = Ranking(payload["ranking"])
+        worker_quality = {
+            int(worker): float(quality)
+            for worker, quality in payload.get("worker_quality", {}).items()
+        }
+        direct = {}
+        for key, value in payload.get("direct_preferences", {}).items():
+            i_text, j_text = key.split(",")
+            direct[(int(i_text), int(j_text))] = float(value)
+        return InferenceResult(
+            ranking=ranking,
+            log_preference=float(payload["log_preference"]),
+            worker_quality=worker_quality,
+            direct_preferences=direct,
+            step_seconds={
+                str(k): float(v)
+                for k, v in payload.get("step_seconds", {}).items()
+            },
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise DataFormatError(f"{path}: malformed field ({error})") from None

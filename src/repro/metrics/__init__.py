@@ -1,0 +1,31 @@
+"""Ranking-quality metrics (Sec. VI-A5).
+
+The paper evaluates with the normalised Kendall-tau distance ``d`` and
+reports ``1 - d`` as accuracy.  This package provides that plus the
+companions used by the extended analyses:
+
+* :mod:`~repro.metrics.kendall` — O(n log n) Kendall-tau distance and
+  correlation;
+* :mod:`~repro.metrics.spearman` — Spearman footrule and rho;
+* :mod:`~repro.metrics.accuracy` — the paper's ``1 - d`` accuracy;
+* :mod:`~repro.metrics.topk` — top-k overlap / precision metrics for the
+  future-work direction the conclusion sketches.
+"""
+
+from .kendall import kendall_tau_distance, normalized_kendall_tau_distance, kendall_tau_correlation
+from .spearman import spearman_footrule, normalized_spearman_footrule, spearman_rho
+from .accuracy import ranking_accuracy, pairwise_agreement
+from .topk import topk_overlap, topk_precision
+
+__all__ = [
+    "kendall_tau_distance",
+    "normalized_kendall_tau_distance",
+    "kendall_tau_correlation",
+    "spearman_footrule",
+    "normalized_spearman_footrule",
+    "spearman_rho",
+    "ranking_accuracy",
+    "pairwise_agreement",
+    "topk_overlap",
+    "topk_precision",
+]

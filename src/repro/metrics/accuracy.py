@@ -1,0 +1,43 @@
+"""The paper's accuracy metric and pairwise agreement (Sec. VI-A5).
+
+``ranking_accuracy = 1 - d`` with ``d`` the normalised Kendall-tau
+distance; this is the number reported in every figure and table.  For the
+AMT-style study — where no ground truth exists — the same function
+measures *agreement* between two algorithms' outputs (the paper compares
+TAPS vs SAPS this way).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..types import Ranking
+from .kendall import normalized_kendall_tau_distance
+
+
+def ranking_accuracy(result: Ranking, reference: Ranking) -> float:
+    """The paper's accuracy: ``1 - normalised Kendall-tau distance``.
+
+    1.0 means identical rankings; 0.0 means exact reversal.  ``reference``
+    is the ground truth in simulation, or another algorithm's output in
+    the AMT setting.
+    """
+    return 1.0 - normalized_kendall_tau_distance(result, reference)
+
+
+def pairwise_agreement(
+    result: Ranking, preferences: Iterable[Tuple[int, int]]
+) -> float:
+    """Fraction of given ordered preferences ``(i, j)`` (meaning
+    ``i ≺ j``) that the ranking satisfies.
+
+    Useful for scoring against raw (possibly non-transitive) vote data
+    where no consensus ranking exists.
+    """
+    total = 0
+    satisfied = 0
+    for i, j in preferences:
+        total += 1
+        if result.prefers(i, j):
+            satisfied += 1
+    return satisfied / total if total else 1.0

@@ -1,0 +1,86 @@
+"""Kendall-tau distance in O(n log n) (Knight's merge-sort method [28]).
+
+The Kendall-tau distance between two full rankings is the number of
+object pairs the rankings order oppositely (discordant pairs).  Relabel
+the objects by their position in the first ranking; the distance is then
+the inversion count of the second ranking's position sequence, which a
+merge sort counts in O(n log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Ranking
+
+
+def _validate_pair(a: Ranking, b: Ranking) -> None:
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"rankings cover {len(a)} vs {len(b)} objects"
+        )
+    if set(a.order) != set(b.order):
+        raise ConfigurationError("rankings cover different object sets")
+
+
+def _inversions(sequence: np.ndarray) -> int:
+    """Inversion count by iterative merge sort."""
+    seq = sequence.astype(np.int64, copy=True)
+    n = len(seq)
+    buffer = np.empty_like(seq)
+    inversions = 0
+    width = 1
+    while width < n:
+        for left in range(0, n, 2 * width):
+            mid = min(left + width, n)
+            right = min(left + 2 * width, n)
+            i, j, k = left, mid, left
+            while i < mid and j < right:
+                if seq[i] <= seq[j]:
+                    buffer[k] = seq[i]
+                    i += 1
+                else:
+                    buffer[k] = seq[j]
+                    j += 1
+                    inversions += mid - i
+                k += 1
+            while i < mid:
+                buffer[k] = seq[i]
+                i += 1
+                k += 1
+            while j < right:
+                buffer[k] = seq[j]
+                j += 1
+                k += 1
+        seq, buffer = buffer, seq
+        width *= 2
+    return int(inversions)
+
+
+def kendall_tau_distance(a: Ranking, b: Ranking) -> int:
+    """Number of discordant pairs between two full rankings."""
+    _validate_pair(a, b)
+    # Position of each object in `a`, read off in `b`'s order: inversions
+    # of this sequence are exactly the discordant pairs.
+    positions = np.fromiter(
+        (a.position(obj) for obj in b), dtype=np.int64, count=len(b)
+    )
+    return _inversions(positions)
+
+
+def normalized_kendall_tau_distance(a: Ranking, b: Ranking) -> float:
+    """Kendall-tau distance divided by the pair count ``C(n, 2)``.
+
+    0 for identical rankings, 1 for exact reverses.  This is the paper's
+    ``d``.
+    """
+    n = len(a)
+    if n < 2:
+        return 0.0
+    return kendall_tau_distance(a, b) / (n * (n - 1) / 2)
+
+
+def kendall_tau_correlation(a: Ranking, b: Ranking) -> float:
+    """Kendall's tau coefficient in [-1, 1]: ``1 - 2 d_norm``."""
+    return 1.0 - 2.0 * normalized_kendall_tau_distance(a, b)

@@ -1,0 +1,51 @@
+"""Spearman rank metrics: footrule distance and rho coefficient.
+
+Companion metrics to Kendall tau (Sec. VII cites Spearman's rank
+correlation as the other standard disagreement measure for rank
+aggregation).  Both operate on full rankings over the same object set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Ranking
+from .kendall import _validate_pair
+
+
+def _position_arrays(a: Ranking, b: Ranking) -> tuple:
+    objects = a.order
+    pos_a = np.arange(len(a), dtype=np.float64)
+    pos_b = np.fromiter(
+        (b.position(obj) for obj in objects), dtype=np.float64, count=len(a)
+    )
+    return pos_a, pos_b
+
+
+def spearman_footrule(a: Ranking, b: Ranking) -> int:
+    """Sum over objects of the absolute rank displacement."""
+    _validate_pair(a, b)
+    pos_a, pos_b = _position_arrays(a, b)
+    return int(np.abs(pos_a - pos_b).sum())
+
+
+def normalized_spearman_footrule(a: Ranking, b: Ranking) -> float:
+    """Footrule divided by its maximum ``floor(n^2 / 2)``; in [0, 1]."""
+    n = len(a)
+    if n < 2:
+        return 0.0
+    return spearman_footrule(a, b) / float((n * n) // 2)
+
+
+def spearman_rho(a: Ranking, b: Ranking) -> float:
+    """Spearman's rank correlation coefficient in [-1, 1].
+
+    ``rho = 1 - 6 * sum(d_i^2) / (n (n^2 - 1))`` for distinct ranks.
+    """
+    _validate_pair(a, b)
+    n = len(a)
+    if n < 2:
+        return 1.0
+    pos_a, pos_b = _position_arrays(a, b)
+    d_squared = float(((pos_a - pos_b) ** 2).sum())
+    return 1.0 - 6.0 * d_squared / (n * (n * n - 1))

@@ -1,0 +1,37 @@
+"""Top-k metrics — the conclusion's "top-k ranking" future-work direction.
+
+These quantify how well a full ranking's head matches a reference: set
+overlap of the top-k prefixes, and precision of the claimed top-k against
+the reference top-k.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..types import Ranking
+
+
+def _check_k(ranking: Ranking, k: int) -> None:
+    if not 1 <= k <= len(ranking):
+        raise ConfigurationError(
+            f"k={k} outside [1, {len(ranking)}]"
+        )
+
+
+def topk_overlap(result: Ranking, reference: Ranking, k: int) -> float:
+    """Jaccard overlap of the two top-k object sets, in [0, 1]."""
+    _check_k(result, k)
+    _check_k(reference, k)
+    top_result = set(result.order[:k])
+    top_reference = set(reference.order[:k])
+    union = top_result | top_reference
+    return len(top_result & top_reference) / len(union)
+
+
+def topk_precision(result: Ranking, reference: Ranking, k: int) -> float:
+    """Fraction of the claimed top-k that belongs to the true top-k."""
+    _check_k(result, k)
+    _check_k(reference, k)
+    top_reference = set(reference.order[:k])
+    hits = sum(1 for obj in result.order[:k] if obj in top_reference)
+    return hits / k

@@ -1,0 +1,63 @@
+"""Platform audit log.
+
+Every marketplace action (publish, vote, payment, close) is appended to an
+:class:`EventLog`.  The log gives tests and examples an inspectable record
+of *what the platform did*, and enforces the non-interactive contract: a
+closed platform refuses further activity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One timestamped platform action.
+
+    ``sequence`` is a monotonically increasing logical clock (the
+    simulator has no wall-clock); ``kind`` is one of ``"publish"``,
+    ``"vote"``, ``"payment"``, ``"close"``; ``detail`` carries
+    event-specific fields.
+    """
+
+    sequence: int
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event log with a logical clock."""
+
+    def __init__(self) -> None:
+        self._events: List[PlatformEvent] = []
+        self._clock = itertools.count()
+
+    def record(self, kind: str, **detail: object) -> PlatformEvent:
+        """Append an event and return it."""
+        event = PlatformEvent(
+            sequence=next(self._clock), kind=kind, detail=dict(detail)
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[PlatformEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[PlatformEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[PlatformEvent]:
+        """Most recent event (optionally of one kind), or ``None``."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None

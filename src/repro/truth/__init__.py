@@ -1,0 +1,25 @@
+"""Truth discovery (Sec. V-A, Step 1).
+
+* :func:`~repro.truth.crh.discover_truth` — the paper's iterative
+  CRH-style algorithm: alternate the weighted-average estimate of each
+  pair's true preference (Eq. 4) with the chi-square-scaled worker
+  quality update (Eq. 5) until convergence;
+* :mod:`~repro.truth.majority` — (weighted) majority voting, the naive
+  aggregation the paper contrasts truth discovery against;
+* :mod:`~repro.truth.convergence` — iteration traces for the
+  convergence-speed experiment (the paper reports <= 10 iterations).
+"""
+
+from .crh import TruthDiscoveryResult, discover_truth
+from .dawid_skene import discover_truth_em
+from .majority import majority_vote, weighted_majority_vote
+from .convergence import ConvergenceTrace
+
+__all__ = [
+    "TruthDiscoveryResult",
+    "discover_truth",
+    "discover_truth_em",
+    "majority_vote",
+    "weighted_majority_vote",
+    "ConvergenceTrace",
+]

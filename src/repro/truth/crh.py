@@ -1,0 +1,169 @@
+"""Iterative truth discovery of direct pairwise preferences (Sec. V-A).
+
+The algorithm alternates two coupled estimates until they stop moving:
+
+* **Truth update (Eq. 4)** — the estimated preference of each pair is the
+  quality-weighted average of the workers' 0/1 votes:
+  ``x_ij = sum_k x_ij^k q_k / sum_k q_k``;
+* **Quality update (Eq. 5)** — each worker's quality is inversely
+  proportional to their squared disagreement with the current truth,
+  scaled by a chi-square percentile in their task count:
+  ``q_k ∝ chi2_ppf(alpha/2, |T_k|) / sum_t (x^k_t - x_t)^2``.
+
+The chi-square weights drive the iteration exactly as written, but they
+span orders of magnitude (they scale with the worker's task count and
+blow up for near-zero disagreement), so *reported* worker quality — which
+the paper requires in ``[0, 1]`` and Step 2 consumes through
+``sigma_k = -log(q_k)`` — needs a calibrated normalisation.  We expose
+``q_k = exp(-sigma_hat_k)`` with ``sigma_hat_k = p_k * sqrt(pi/2)``,
+where ``p_k`` is the worker's misvote rate against the rounded discovered
+truth.  Under the paper's error model (``eps ~ |N(0, sigma^2)|`` with
+``E[eps] = sigma * sqrt(2/pi)``), ``sigma_hat_k`` is exactly the
+deviation whose expected error equals the observed misvote rate, so
+Step 2's ``-log(q_k)`` recovers it and the smoothing shift equals the
+answering workers' estimated error probability (see DESIGN.md §5).
+Workers start at equal weight 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+from scipy import stats
+
+from ..config import TruthDiscoveryConfig
+from ..exceptions import ConvergenceError, InferenceError
+from ..types import Pair, VoteSet, WorkerId
+from .convergence import ConvergenceTrace
+
+
+@dataclass(frozen=True)
+class TruthDiscoveryResult:
+    """Output of Step 1.
+
+    Attributes
+    ----------
+    preferences:
+        ``preferences[(i, j)]`` (canonical ``i < j``) is the estimated
+        probability that ``O_i ≺ O_j`` — the paper's direct preference
+        ``x_ij``, used as the edge weight ``w_ij`` of ``G_P``.
+    worker_quality:
+        Estimated quality ``q_k in (0, 1]`` per worker id.
+    trace:
+        Per-iteration convergence record.
+    elapsed_seconds:
+        Wall-clock time of the iterative loop.
+    """
+
+    preferences: Dict[Pair, float]
+    worker_quality: Dict[WorkerId, float]
+    trace: ConvergenceTrace
+    elapsed_seconds: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return self.trace.iterations
+
+
+def discover_truth(
+    votes: VoteSet,
+    config: TruthDiscoveryConfig = TruthDiscoveryConfig(),
+) -> TruthDiscoveryResult:
+    """Run iterative truth discovery over a vote set.
+
+    Raises
+    ------
+    InferenceError
+        If the vote set is empty.
+    ConvergenceError
+        If ``config.strict`` and the iteration cap is reached first.
+    """
+    if len(votes) == 0:
+        raise InferenceError("cannot discover truth from an empty vote set")
+    start = time.perf_counter()
+
+    pairs = votes.pairs()
+    workers = votes.workers()
+    pair_index = {pair: idx for idx, pair in enumerate(pairs)}
+    worker_index = {worker: idx for idx, worker in enumerate(workers)}
+    n_pairs, n_workers = len(pairs), len(workers)
+
+    # Flatten votes into parallel arrays once; the loop is pure numpy.
+    vote_pair = np.empty(len(votes), dtype=np.int64)
+    vote_worker = np.empty(len(votes), dtype=np.int64)
+    vote_value = np.empty(len(votes), dtype=np.float64)
+    for row, vote in enumerate(votes):
+        i, j = vote.pair
+        vote_pair[row] = pair_index[(i, j)]
+        vote_worker[row] = worker_index[vote.worker]
+        vote_value[row] = vote.value_for(i, j)
+
+    tasks_per_worker = np.bincount(vote_worker, minlength=n_workers)
+    # Eq. 5's chi-square numerator depends only on the task count, so it
+    # is a per-worker constant across iterations.
+    chi2_scale = stats.chi2.ppf(config.alpha / 2.0, df=tasks_per_worker)
+    chi2_scale = np.maximum(chi2_scale, 1e-12)
+
+    quality = np.ones(n_workers, dtype=np.float64)
+    truth = np.full(n_pairs, 0.5, dtype=np.float64)
+    trace = ConvergenceTrace()
+
+    for _ in range(config.max_iterations):
+        # Eq. 4: weighted average of votes per pair.
+        weights = quality[vote_worker]
+        numer = np.bincount(vote_pair, weights=weights * vote_value,
+                            minlength=n_pairs)
+        denom = np.bincount(vote_pair, weights=weights, minlength=n_pairs)
+        new_truth = numer / np.maximum(denom, 1e-300)
+
+        # Eq. 5: quality inversely proportional to squared disagreement.
+        sq_err = (vote_value - new_truth[vote_pair]) ** 2
+        err_per_worker = np.bincount(vote_worker, weights=sq_err,
+                                     minlength=n_workers)
+        new_quality = chi2_scale / np.maximum(err_per_worker, config.min_error)
+        # Rescale so the iteration weights stay O(1); relative ratios are
+        # all that matters for the Eq. 4 weighted average.
+        new_quality = new_quality / new_quality.max()
+
+        reduce = np.mean if config.criterion == "mean" else np.max
+        pref_delta = float(reduce(np.abs(new_truth - truth)))
+        qual_delta = float(reduce(np.abs(new_quality - quality)))
+        truth, quality = new_truth, new_quality
+        trace.record(pref_delta, qual_delta)
+        if pref_delta < config.tolerance and qual_delta < config.tolerance:
+            trace.converged = True
+            break
+
+    if config.strict and not trace.converged:
+        raise ConvergenceError(
+            f"truth discovery did not converge within "
+            f"{config.max_iterations} iterations "
+            f"(last deltas: x={trace.preference_deltas[-1]:.2e}, "
+            f"q={trace.quality_deltas[-1]:.2e})"
+        )
+
+    # Calibrated reported quality: each worker's misvote rate against the
+    # rounded truth estimates the error probability p_k; the deviation
+    # with E|N(0, sigma^2)| = p_k is sigma_hat = p_k * sqrt(pi/2), and
+    # q_k = exp(-sigma_hat) makes Step 2's -log(q_k) recover it exactly.
+    rounded_truth = (truth >= 0.5).astype(np.float64)
+    mismatch = np.abs(vote_value - rounded_truth[vote_pair])
+    misvote_rate = np.bincount(
+        vote_worker, weights=mismatch, minlength=n_workers
+    ) / np.maximum(tasks_per_worker, 1)
+    sigma_hat = misvote_rate * np.sqrt(np.pi / 2.0)
+    reported_quality = np.exp(-sigma_hat)
+
+    elapsed = time.perf_counter() - start
+    return TruthDiscoveryResult(
+        preferences={pair: float(truth[idx]) for pair, idx in pair_index.items()},
+        worker_quality={
+            worker: float(reported_quality[idx])
+            for worker, idx in worker_index.items()
+        },
+        trace=trace,
+        elapsed_seconds=elapsed,
+    )

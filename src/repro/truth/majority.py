@@ -1,0 +1,64 @@
+"""(Weighted) majority voting — the naive aggregation baselines.
+
+The paper's introduction contrasts truth discovery against "heuristic
+methods such as majority voting or weighted majority voting [which] treat
+all judgments as equally reliable".  Both are provided: plain majority
+(all workers weight 1) and weighted majority with caller-supplied worker
+weights (e.g. oracle qualities, for ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..exceptions import InferenceError
+from ..types import Pair, VoteSet, WorkerId
+
+
+def majority_vote(votes: VoteSet) -> Dict[Pair, float]:
+    """Unweighted vote share per canonical pair.
+
+    Returns ``{(i, j): fraction of votes saying i ≺ j}`` — the direct
+    analogue of Step 1's output with all qualities pinned to 1.
+    """
+    return weighted_majority_vote(votes, weights=None)
+
+
+def weighted_majority_vote(
+    votes: VoteSet,
+    weights: Optional[Mapping[WorkerId, float]] = None,
+) -> Dict[Pair, float]:
+    """Weight-averaged vote share per canonical pair (Eq. 4, fixed q).
+
+    Parameters
+    ----------
+    votes:
+        The collected votes.
+    weights:
+        Per-worker weights; missing workers default to weight 1.  ``None``
+        means plain majority voting.
+
+    Raises
+    ------
+    InferenceError
+        On an empty vote set or when all weights on some pair are zero.
+    """
+    if len(votes) == 0:
+        raise InferenceError("cannot aggregate an empty vote set")
+    numer: Dict[Pair, float] = {}
+    denom: Dict[Pair, float] = {}
+    for vote in votes:
+        i, j = vote.pair
+        weight = 1.0 if weights is None else float(weights.get(vote.worker, 1.0))
+        if weight < 0:
+            raise InferenceError(
+                f"negative weight {weight} for worker {vote.worker}"
+            )
+        numer[(i, j)] = numer.get((i, j), 0.0) + weight * vote.value_for(i, j)
+        denom[(i, j)] = denom.get((i, j), 0.0) + weight
+    result: Dict[Pair, float] = {}
+    for pair, total in denom.items():
+        if total <= 0:
+            raise InferenceError(f"all weights zero on pair {pair}")
+        result[pair] = numer[pair] / total
+    return result

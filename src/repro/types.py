@@ -1,0 +1,277 @@
+"""Core value types shared across the library.
+
+The vocabulary follows the paper:
+
+* *objects* ``O = {O_0, ..., O_{n-1}}`` are identified by integer ids;
+* a *comparison task* is an unordered pair of objects ``(i, j)``;
+* a *vote* is one worker's directed preference on one task;
+* a *ranking* is a permutation of the object ids, most-preferred first
+  (``ranking[0]`` is the object ranked first, i.e. the Hamiltonian-path
+  source).
+
+All types here are immutable value objects; algorithms never mutate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .exceptions import ConfigurationError
+
+#: An object identifier (index into the object universe).
+ObjectId = int
+
+#: A worker identifier.
+WorkerId = int
+
+#: An unordered comparison pair, canonically stored with ``first < second``.
+Pair = Tuple[ObjectId, ObjectId]
+
+
+def canonical_pair(i: ObjectId, j: ObjectId) -> Pair:
+    """Return the canonical (sorted) form of an unordered pair.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``i == j`` — an object cannot be compared with itself.
+    """
+    if i == j:
+        raise ConfigurationError(f"cannot compare object {i} with itself")
+    return (i, j) if i < j else (j, i)
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A single worker's answer to one pairwise comparison.
+
+    ``winner`` and ``loser`` encode the preference ``winner ≺ loser``
+    (winner ranked *before*, i.e. preferred).  This matches the paper's
+    ``x_ij^k = 1`` iff ``O_i ≺ O_j``.
+    """
+
+    worker: WorkerId
+    winner: ObjectId
+    loser: ObjectId
+
+    def __post_init__(self) -> None:
+        if self.winner == self.loser:
+            raise ConfigurationError(
+                f"vote by worker {self.worker} compares object "
+                f"{self.winner} with itself"
+            )
+
+    @property
+    def pair(self) -> Pair:
+        """The canonical unordered pair this vote answers."""
+        return canonical_pair(self.winner, self.loser)
+
+    def value_for(self, i: ObjectId, j: ObjectId) -> float:
+        """The paper's ``x_ij^k``: 1.0 if this vote says ``i ≺ j`` else 0.0."""
+        if {i, j} != {self.winner, self.loser}:
+            raise ConfigurationError(
+                f"vote on pair {self.pair} queried for pair {(i, j)}"
+            )
+        return 1.0 if self.winner == i else 0.0
+
+
+@dataclass(frozen=True)
+class HIT:
+    """A Human Intelligence Task: a bundle of ``c >= 1`` comparison pairs.
+
+    The paper allows one HIT to contain several pairwise comparisons; the
+    platform assigns each HIT to ``w`` distinct workers.
+    """
+
+    hit_id: int
+    pairs: Tuple[Pair, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ConfigurationError(f"HIT {self.hit_id} contains no pairs")
+        for i, j in self.pairs:
+            if i == j:
+                raise ConfigurationError(
+                    f"HIT {self.hit_id} contains degenerate pair ({i}, {j})"
+                )
+            if (i, j) != canonical_pair(i, j):
+                raise ConfigurationError(
+                    f"HIT {self.hit_id} pair ({i}, {j}) is not canonical"
+                )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+
+class Ranking:
+    """An immutable full ranking (permutation) of ``n`` objects.
+
+    ``ranking[0]`` is the most-preferred object.  Provides O(1) position
+    lookup, which the metrics and baselines rely on heavily.
+    """
+
+    __slots__ = ("_order", "_position")
+
+    def __init__(self, order: Sequence[ObjectId]):
+        order_tuple = tuple(int(o) for o in order)
+        position: Dict[ObjectId, int] = {}
+        for idx, obj in enumerate(order_tuple):
+            if obj in position:
+                raise ConfigurationError(f"object {obj} appears twice in ranking")
+            position[obj] = idx
+        self._order = order_tuple
+        self._position = position
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, idx: int) -> ObjectId:
+        return self._order[idx]
+
+    def __iter__(self) -> Iterator[ObjectId]:
+        return iter(self._order)
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._position
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ranking):
+            return self._order == other._order
+        if isinstance(other, (tuple, list)):
+            return self._order == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._order)
+
+    def __repr__(self) -> str:
+        if len(self._order) <= 12:
+            return f"Ranking({list(self._order)})"
+        head = ", ".join(str(o) for o in self._order[:6])
+        return f"Ranking([{head}, ...] n={len(self._order)})"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def order(self) -> Tuple[ObjectId, ...]:
+        """The permutation as a tuple, most-preferred first."""
+        return self._order
+
+    def position(self, obj: ObjectId) -> int:
+        """0-based rank position of ``obj`` (0 = most preferred)."""
+        try:
+            return self._position[obj]
+        except KeyError:
+            raise ConfigurationError(f"object {obj} not in ranking") from None
+
+    def prefers(self, i: ObjectId, j: ObjectId) -> bool:
+        """True iff this ranking places ``i`` before ``j`` (``i ≺ j``)."""
+        return self.position(i) < self.position(j)
+
+    def pairs(self) -> Iterator[Tuple[ObjectId, ObjectId]]:
+        """Yield all ordered pairs ``(i, j)`` with ``i`` ranked before ``j``."""
+        order = self._order
+        n = len(order)
+        for a in range(n):
+            for b in range(a + 1, n):
+                yield order[a], order[b]
+
+    def reversed(self) -> "Ranking":
+        """The exact reverse ranking."""
+        return Ranking(self._order[::-1])
+
+    def restricted_to(self, objects: Iterable[ObjectId]) -> "Ranking":
+        """The induced ranking on a subset of objects (paper's sub-rankings)."""
+        keep = set(objects)
+        return Ranking([o for o in self._order if o in keep])
+
+    @staticmethod
+    def identity(n: int) -> "Ranking":
+        """The identity ranking ``0 ≺ 1 ≺ ... ≺ n-1``."""
+        return Ranking(range(n))
+
+    @staticmethod
+    def random(n: int, rng) -> "Ranking":
+        """A uniformly random ranking of ``n`` objects."""
+        from .rng import ensure_rng
+
+        return Ranking(ensure_rng(rng).permutation(n))
+
+
+@dataclass(frozen=True)
+class VoteSet:
+    """All votes collected in one crowdsourcing round, with fast grouping.
+
+    This is the interchange format between the platform simulator and every
+    inference algorithm (ours and the baselines).
+    """
+
+    n_objects: int
+    votes: Tuple[Vote, ...]
+
+    @staticmethod
+    def from_votes(n_objects: int, votes: Iterable[Vote]) -> "VoteSet":
+        """Build a vote set from any iterable of votes."""
+        return VoteSet(n_objects=n_objects, votes=tuple(votes))
+
+    def __len__(self) -> int:
+        return len(self.votes)
+
+    def __iter__(self) -> Iterator[Vote]:
+        return iter(self.votes)
+
+    def by_pair(self) -> Dict[Pair, List[Vote]]:
+        """Group votes by their canonical comparison pair."""
+        grouped: Dict[Pair, List[Vote]] = {}
+        for vote in self.votes:
+            grouped.setdefault(vote.pair, []).append(vote)
+        return grouped
+
+    def by_worker(self) -> Dict[WorkerId, List[Vote]]:
+        """Group votes by the worker who cast them."""
+        grouped: Dict[WorkerId, List[Vote]] = {}
+        for vote in self.votes:
+            grouped.setdefault(vote.worker, []).append(vote)
+        return grouped
+
+    def workers(self) -> List[WorkerId]:
+        """Sorted list of distinct worker ids appearing in the votes."""
+        return sorted({v.worker for v in self.votes})
+
+    def pairs(self) -> List[Pair]:
+        """Sorted list of distinct canonical pairs appearing in the votes."""
+        return sorted({v.pair for v in self.votes})
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """The output of a full result-inference run.
+
+    Attributes
+    ----------
+    ranking:
+        The inferred full ranking.
+    log_preference:
+        ``log Pr[P]`` of the chosen Hamiltonian path (sum of log edge
+        weights); comparable across algorithms on the same closure.
+    worker_quality:
+        Estimated quality ``q_k`` per worker id (empty for baselines that
+        do not model workers).
+    direct_preferences:
+        The Step-1 direct preference ``x_ij`` per canonical pair.
+    step_seconds:
+        Wall-clock seconds per named pipeline step (for Fig. 4's breakdown).
+    metadata:
+        Free-form extras (iteration counts, 1-edge counts, ...).
+    """
+
+    ranking: Ranking
+    log_preference: float
+    worker_quality: Dict[WorkerId, float] = field(default_factory=dict)
+    direct_preferences: Dict[Pair, float] = field(default_factory=dict)
+    step_seconds: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)

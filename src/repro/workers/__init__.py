@@ -1,0 +1,46 @@
+"""Worker simulation substrate (Sec. VI-A4).
+
+The paper models worker ``W_k``'s error with a per-worker standard
+deviation ``sigma_k``; on each task the worker votes *wrongly* with
+probability ``eps_k ~ |N(0, sigma_k^2)|``.  Two quality regimes are used:
+
+* Gaussian: ``sigma_k ~ |N(0, sigma_s^2)|`` with
+  ``sigma_s in {0.01, 0.1, 1}`` (high / medium / low quality);
+* Uniform: ``sigma_k ~ U[a, b]`` with ranges ``[0, 0.2]``, ``[0.1, 0.3]``,
+  ``[0.2, 0.4]``.
+
+This package builds those workers and nothing else — the platform
+simulator (:mod:`repro.platform`) routes tasks to them.
+"""
+
+from .quality import (
+    QualityDistribution,
+    GaussianQuality,
+    UniformQuality,
+    QualityLevel,
+    gaussian_preset,
+    uniform_preset,
+)
+from .worker import SimulatedWorker
+from .pool import WorkerPool
+from .behaviors import (
+    AdversarialWorker,
+    LazyWorker,
+    SleepyWorker,
+    SpammerWorker,
+)
+
+__all__ = [
+    "AdversarialWorker",
+    "LazyWorker",
+    "SleepyWorker",
+    "SpammerWorker",
+    "QualityDistribution",
+    "GaussianQuality",
+    "UniformQuality",
+    "QualityLevel",
+    "gaussian_preset",
+    "uniform_preset",
+    "SimulatedWorker",
+    "WorkerPool",
+]

@@ -1,0 +1,102 @@
+"""Structured worker misbehaviour models.
+
+The paper's error model (``eps ~ |N(0, sigma_k^2)|``) covers *honest
+noise*; real crowds also contain structured misbehaviour.  These worker
+types plug into the same platform/pool machinery (they subclass
+:class:`~repro.workers.worker.SimulatedWorker` and override ``vote``)
+and power the robustness tests and the spam-resilience benchmark:
+
+* :class:`SpammerWorker` — answers uniformly at random, ignoring the
+  objects entirely (the classic AMT spammer);
+* :class:`AdversarialWorker` — answers the *opposite* of the truth with
+  high probability (colluding vandals / label flippers);
+* :class:`LazyWorker` — always votes for the first object of the pair
+  as presented (position bias), which is random with respect to object
+  identity but *consistent* within a worker;
+* :class:`SleepyWorker` — honest, but with probability ``lapse`` answers
+  a pair as a spammer would (attention lapses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..types import Ranking, Vote
+from .worker import SimulatedWorker
+
+
+@dataclass
+class SpammerWorker(SimulatedWorker):
+    """Votes uniformly at random on every pair."""
+
+    sigma: float = 0.0
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Coin-flip answer, independent of the true order."""
+        if self.rng.random() < 0.5:
+            return Vote(worker=self.worker_id, winner=i, loser=j)
+        return Vote(worker=self.worker_id, winner=j, loser=i)
+
+
+@dataclass
+class AdversarialWorker(SimulatedWorker):
+    """Answers against the true order with probability ``flip_rate``.
+
+    ``flip_rate = 1`` is a perfect inverter; truth discovery can in
+    principle exploit such a worker (its votes are perfectly
+    *anti*-correlated with the truth), but the paper's weighting model
+    can only *downweight* it — which these tests verify happens.
+    """
+
+    sigma: float = 0.0
+    flip_rate: float = 0.95
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.5 <= self.flip_rate <= 1.0:
+            raise ConfigurationError(
+                f"flip_rate must be in [0.5, 1], got {self.flip_rate}"
+            )
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Vote against the ground truth with probability ``flip_rate``."""
+        true_winner, true_loser = (i, j) if truth.prefers(i, j) else (j, i)
+        if self.rng.random() < self.flip_rate:
+            true_winner, true_loser = true_loser, true_winner
+        return Vote(worker=self.worker_id, winner=true_winner,
+                    loser=true_loser)
+
+
+@dataclass
+class LazyWorker(SimulatedWorker):
+    """Always picks the first-presented object (position bias)."""
+
+    sigma: float = 0.0
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Pick ``i`` — whichever object the HIT listed first."""
+        return Vote(worker=self.worker_id, winner=i, loser=j)
+
+
+@dataclass
+class SleepyWorker(SimulatedWorker):
+    """Honest worker that lapses into random answers at rate ``lapse``."""
+
+    sigma: float = 0.05
+    lapse: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.lapse < 1.0:
+            raise ConfigurationError(
+                f"lapse must be in [0, 1), got {self.lapse}"
+            )
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Honest vote, except for random lapses."""
+        if self.rng.random() < self.lapse:
+            if self.rng.random() < 0.5:
+                return Vote(worker=self.worker_id, winner=i, loser=j)
+            return Vote(worker=self.worker_id, winner=j, loser=i)
+        return super().vote(i, j, truth)

@@ -1,0 +1,97 @@
+"""A pool of simulated workers drawn from one quality distribution."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import SeedLike, ensure_rng, spawn_rngs
+from ..types import WorkerId
+from .quality import QualityDistribution
+from .worker import SimulatedWorker
+
+
+class WorkerPool:
+    """The crowd: ``m`` simulated workers with ids ``0..m-1``.
+
+    Construction draws each worker's ``sigma_k`` once from the quality
+    distribution (the paper assumes "the workers' quality stays stable
+    across all the tasks") and gives every worker an independent random
+    stream so that vote noise is reproducible.
+    """
+
+    def __init__(self, workers: Sequence[SimulatedWorker]):
+        if not workers:
+            raise ConfigurationError("worker pool cannot be empty")
+        ids = [w.worker_id for w in workers]
+        if ids != list(range(len(workers))):
+            raise ConfigurationError(
+                "worker ids must be contiguous 0..m-1 in order, got "
+                f"{ids[:5]}..."
+            )
+        self._workers: List[SimulatedWorker] = list(workers)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        n_workers: int,
+        quality: QualityDistribution,
+        rng: SeedLike = None,
+    ) -> "WorkerPool":
+        """Draw a pool of ``n_workers`` from a quality distribution."""
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        parent = ensure_rng(rng)
+        sigmas = quality.sample_sigmas(n_workers, parent)
+        streams = spawn_rngs(parent, n_workers)
+        workers = [
+            SimulatedWorker(worker_id=k, sigma=float(sigmas[k]), rng=streams[k])
+            for k in range(n_workers)
+        ]
+        return cls(workers)
+
+    # -- container protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[SimulatedWorker]:
+        return iter(self._workers)
+
+    def __getitem__(self, worker_id: WorkerId) -> SimulatedWorker:
+        try:
+            return self._workers[worker_id]
+        except IndexError:
+            raise ConfigurationError(
+                f"worker {worker_id} not in pool of {len(self._workers)}"
+            ) from None
+
+    # -- accessors -----------------------------------------------------------
+    def sigmas(self) -> np.ndarray:
+        """Error deviations of all workers, indexed by worker id."""
+        return np.array([w.sigma for w in self._workers])
+
+    def expected_accuracies(self) -> np.ndarray:
+        """Per-worker expected vote accuracy ``1 - E[eps]`` (oracle view)."""
+        return np.array(
+            [1.0 - w.expected_error_probability() for w in self._workers]
+        )
+
+    def sample(self, count: int, rng: SeedLike = None) -> List[SimulatedWorker]:
+        """Draw ``count`` distinct workers uniformly (HIT assignment)."""
+        if not 1 <= count <= len(self._workers):
+            raise ConfigurationError(
+                f"cannot sample {count} workers from a pool of "
+                f"{len(self._workers)}"
+            )
+        generator = ensure_rng(rng)
+        chosen = generator.choice(len(self._workers), size=count, replace=False)
+        return [self._workers[int(k)] for k in chosen]
+
+    def __repr__(self) -> str:
+        sig = self.sigmas()
+        return (
+            f"WorkerPool(m={len(self._workers)}, "
+            f"sigma_mean={sig.mean():.4f}, sigma_max={sig.max():.4f})"
+        )

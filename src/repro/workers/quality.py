@@ -1,0 +1,126 @@
+"""Worker-quality distributions (Sec. VI-A4).
+
+A *quality distribution* draws the per-worker error deviation
+``sigma_k``; a worker's per-task error probability is then
+``eps ~ |N(0, sigma_k^2)|`` (clipped to [0, 1]).  The paper's exact
+presets are provided via :func:`gaussian_preset` / :func:`uniform_preset`
+keyed by the :class:`QualityLevel` enum (high / medium / low).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import SeedLike, ensure_rng
+
+
+class QualityLevel(enum.Enum):
+    """The paper's three worker-quality regimes."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+class QualityDistribution(abc.ABC):
+    """Draws per-worker error deviations ``sigma_k``."""
+
+    @abc.abstractmethod
+    def sample_sigmas(self, n_workers: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``n_workers`` non-negative error deviations."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable description for experiment reports."""
+
+
+@dataclass(frozen=True)
+class GaussianQuality(QualityDistribution):
+    """``sigma_k ~ |N(0, sigma_s^2)|``.
+
+    The paper writes ``sigma_k ~ N(0, sigma_s^2)``; a deviation must be
+    non-negative, so the half-normal reading (absolute value) is used.
+    Small ``sigma_s`` concentrates workers near perfect quality.
+    """
+
+    sigma_s: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_s <= 0:
+            raise ConfigurationError(f"sigma_s must be positive, got {self.sigma_s}")
+
+    def sample_sigmas(self, n_workers: int, rng: SeedLike = None) -> np.ndarray:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        generator = ensure_rng(rng)
+        return np.abs(generator.normal(0.0, self.sigma_s, size=n_workers))
+
+    def describe(self) -> str:
+        return f"Gaussian(sigma_s={self.sigma_s})"
+
+
+@dataclass(frozen=True)
+class UniformQuality(QualityDistribution):
+    """``sigma_k ~ U[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low < self.high:
+            raise ConfigurationError(
+                f"need 0 <= low < high, got [{self.low}, {self.high}]"
+            )
+
+    def sample_sigmas(self, n_workers: int, rng: SeedLike = None) -> np.ndarray:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        generator = ensure_rng(rng)
+        return generator.uniform(self.low, self.high, size=n_workers)
+
+    def describe(self) -> str:
+        return f"Uniform[{self.low}, {self.high}]"
+
+
+#: Paper presets: sigma_s = 0.01 / 0.1 / 1 for high / medium / low quality.
+_GAUSSIAN_PRESETS = {
+    QualityLevel.HIGH: 0.01,
+    QualityLevel.MEDIUM: 0.1,
+    QualityLevel.LOW: 1.0,
+}
+
+#: Paper presets: sigma ranges [0,0.2] / [0.1,0.3] / [0.2,0.4].
+_UNIFORM_PRESETS = {
+    QualityLevel.HIGH: (0.0, 0.2),
+    QualityLevel.MEDIUM: (0.1, 0.3),
+    QualityLevel.LOW: (0.2, 0.4),
+}
+
+
+def gaussian_preset(level: QualityLevel) -> GaussianQuality:
+    """The paper's Gaussian quality preset for a given level."""
+    return GaussianQuality(sigma_s=_GAUSSIAN_PRESETS[QualityLevel(level)])
+
+
+def uniform_preset(level: QualityLevel) -> UniformQuality:
+    """The paper's Uniform quality preset for a given level."""
+    low, high = _UNIFORM_PRESETS[QualityLevel(level)]
+    return UniformQuality(low=low, high=high)
+
+
+def error_probability(sigma: float, rng: SeedLike = None) -> float:
+    """One per-task error probability draw: ``min(|N(0, sigma^2)|, 1)``.
+
+    ``sigma = 0`` gives a perfect worker (never errs).
+    """
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0.0:
+        return 0.0
+    generator = ensure_rng(rng)
+    return float(min(abs(generator.normal(0.0, sigma)), 1.0))

@@ -1,0 +1,71 @@
+"""A simulated crowd worker.
+
+Implements the paper's voting model (Sec. VI-A4): given the ground-truth
+ranking and a task ``(O_i, O_j)``, the worker draws an error probability
+``eps ~ |N(0, sigma_k^2)|`` for this task and votes *against* the ground
+truth with probability ``eps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import ensure_rng
+from ..types import Ranking, Vote, WorkerId
+
+
+@dataclass
+class SimulatedWorker:
+    """One crowd worker with a fixed error deviation ``sigma``.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable identifier used in votes.
+    sigma:
+        Error deviation ``sigma_k``; per-task error probability is
+        ``min(|N(0, sigma^2)|, 1)``.
+    rng:
+        Private random stream; injected so vote noise is reproducible
+        and independent across workers.
+    """
+
+    worker_id: WorkerId
+    sigma: float
+    rng: np.random.Generator = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(
+                f"worker {self.worker_id}: sigma must be >= 0, got {self.sigma}"
+            )
+        if self.rng is None:
+            self.rng = ensure_rng(None)
+
+    def error_probability(self) -> float:
+        """Draw this task's error probability ``eps ~ |N(0, sigma^2)|``."""
+        if self.sigma == 0.0:
+            return 0.0
+        return float(min(abs(self.rng.normal(0.0, self.sigma)), 1.0))
+
+    def expected_error_probability(self) -> float:
+        """The analytic mean ``E[eps] = sigma * sqrt(2 / pi)`` (clipped).
+
+        Used by tests and by the oracle quality baselines; the truth
+        discovery step must *recover* something monotone in this.
+        """
+        return float(min(self.sigma * np.sqrt(2.0 / np.pi), 1.0))
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Answer the comparison ``(O_i, O_j)`` given the ground truth.
+
+        With probability ``1 - eps`` the vote matches the ground-truth
+        order of ``i`` and ``j``; otherwise it is flipped.
+        """
+        true_winner, true_loser = (i, j) if truth.prefers(i, j) else (j, i)
+        if self.rng.random() < self.error_probability():
+            true_winner, true_loser = true_loser, true_winner
+        return Vote(worker=self.worker_id, winner=true_winner, loser=true_loser)

@@ -1,0 +1,81 @@
+"""Shared fixtures: small, deterministic scenarios used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    PipelineConfig,
+    PropagationConfig,
+    SAPSConfig,
+)
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+from repro.types import Ranking, Vote, VoteSet
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests share the seed for stability."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_truth():
+    """Ground truth over 8 objects."""
+    return Ranking([3, 1, 4, 0, 5, 2, 7, 6])
+
+
+@pytest.fixture
+def good_pool():
+    """A pool of 12 high-quality workers."""
+    return WorkerPool.from_distribution(
+        12, gaussian_preset(QualityLevel.HIGH), rng=11
+    )
+
+
+@pytest.fixture
+def medium_scenario():
+    """A 20-object medium-quality scenario (fast but non-trivial)."""
+    return make_scenario(20, 0.5, n_workers=15, workers_per_task=5, rng=21)
+
+
+@pytest.fixture
+def medium_votes(medium_scenario):
+    """Votes collected once for the medium scenario."""
+    return collect_votes(medium_scenario, rng=21)
+
+
+@pytest.fixture
+def tiny_votes():
+    """A hand-built vote set over 4 objects, 3 workers.
+
+    Ground truth intent: 0 < 1 < 2 < 3 (0 most preferred).  Worker 2 is
+    adversarial on pair (0, 1).
+    """
+    votes = [
+        Vote(worker=0, winner=0, loser=1),
+        Vote(worker=1, winner=0, loser=1),
+        Vote(worker=2, winner=1, loser=0),
+        Vote(worker=0, winner=1, loser=2),
+        Vote(worker=1, winner=1, loser=2),
+        Vote(worker=2, winner=1, loser=2),
+        Vote(worker=0, winner=2, loser=3),
+        Vote(worker=1, winner=2, loser=3),
+        Vote(worker=2, winner=2, loser=3),
+        Vote(worker=0, winner=0, loser=3),
+        Vote(worker=1, winner=0, loser=3),
+        Vote(worker=2, winner=0, loser=3),
+    ]
+    return VoteSet.from_votes(4, votes)
+
+
+@pytest.fixture
+def fast_config():
+    """A fast pipeline configuration for integration tests."""
+    return PipelineConfig(
+        saps=SAPSConfig(iterations=2000, restarts=1),
+        propagation=PropagationConfig(max_hops=6, method="walks"),
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for repro.adaptive (the interactive counterpart)."""
+
+import pytest
+
+from repro.adaptive import adaptive_rank
+from repro.config import FAST_PIPELINE
+from repro.exceptions import ConfigurationError, InferenceError
+from repro.metrics import ranking_accuracy
+from repro.platform import InteractivePlatform
+from repro.types import Ranking
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+def make_platform(n=15, budget_queries=300, quality=QualityLevel.MEDIUM,
+                  seed=33):
+    truth = Ranking.random(n, rng=seed)
+    pool = WorkerPool.from_distribution(12, gaussian_preset(quality),
+                                        rng=seed)
+    platform = InteractivePlatform(
+        pool, truth, budget=budget_queries * 0.025, reward=0.025, rng=seed
+    )
+    return truth, platform
+
+
+class TestAdaptiveRank:
+    def test_produces_full_ranking(self):
+        truth, platform = make_platform()
+        result, stats = adaptive_rank(platform, config=FAST_PIPELINE,
+                                      rng=1)
+        assert sorted(result.ranking.order) == list(range(15))
+
+    def test_spends_entire_budget(self):
+        truth, platform = make_platform()
+        adaptive_rank(platform, config=FAST_PIPELINE, rng=1)
+        assert platform.remaining_queries() == 0
+
+    def test_accuracy_reasonable(self):
+        truth, platform = make_platform(budget_queries=400)
+        result, _ = adaptive_rank(platform, config=FAST_PIPELINE, rng=2)
+        assert ranking_accuracy(result.ranking, truth) > 0.8
+
+    def test_round_stats_recorded(self):
+        truth, platform = make_platform()
+        _, stats = adaptive_rank(platform, config=FAST_PIPELINE, rounds=3,
+                                 rng=3)
+        assert 1 <= len(stats) <= 3
+        assert all(s.queries_spent >= 0 for s in stats)
+        assert all(0.0 <= s.mean_uncertainty <= 0.5 for s in stats)
+
+    def test_zero_rounds_is_one_shot(self):
+        truth, platform = make_platform()
+        result, stats = adaptive_rank(platform, config=FAST_PIPELINE,
+                                      rounds=0, seed_fraction=1.0, rng=4)
+        assert stats == []
+        assert sorted(result.ranking.order) == list(range(15))
+
+    def test_validation(self):
+        truth, platform = make_platform()
+        with pytest.raises(ConfigurationError):
+            adaptive_rank(platform, seed_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            adaptive_rank(platform, rounds=-1)
+        with pytest.raises(ConfigurationError):
+            adaptive_rank(platform, workers_per_query=0)
+
+    def test_zero_budget_rejected(self):
+        truth, platform = make_platform(budget_queries=0)
+        with pytest.raises(InferenceError):
+            adaptive_rank(platform, config=FAST_PIPELINE)
+
+    def test_beats_or_matches_one_shot_at_equal_budget(self):
+        """Adaptive targeting should not lose to spending the same
+        budget blindly (averaged over a few seeds)."""
+        adaptive_wins = 0
+        for seed in (5, 6, 7):
+            truth, platform = make_platform(budget_queries=350, seed=seed)
+            result, _ = adaptive_rank(platform, config=FAST_PIPELINE,
+                                      rng=seed)
+            adaptive_accuracy = ranking_accuracy(result.ranking, truth)
+
+            truth2, platform2 = make_platform(budget_queries=350, seed=seed)
+            one_shot, _ = adaptive_rank(platform2, config=FAST_PIPELINE,
+                                        rounds=0, seed_fraction=1.0,
+                                        rng=seed)
+            one_shot_accuracy = ranking_accuracy(one_shot.ranking, truth2)
+            if adaptive_accuracy >= one_shot_accuracy - 1e-9:
+                adaptive_wins += 1
+        assert adaptive_wins >= 2

@@ -1,0 +1,69 @@
+"""Unit tests for repro.adaptive's internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import _fair_seed_pairs, _most_uncertain_pairs
+
+
+class TestFairSeedPairs:
+    def test_covers_budget(self):
+        rng = np.random.default_rng(0)
+        pairs = _fair_seed_pairs(10, 20, rng)
+        assert len(pairs) == 20
+        assert len(set(pairs)) == 20
+
+    def test_budget_below_spanning_still_valid(self):
+        rng = np.random.default_rng(1)
+        pairs = _fair_seed_pairs(10, 4, rng)
+        assert len(pairs) == 4
+
+    def test_budget_above_all_pairs_clipped(self):
+        rng = np.random.default_rng(2)
+        pairs = _fair_seed_pairs(5, 100, rng)
+        assert len(pairs) == 10  # C(5,2)
+
+    def test_pairs_are_canonical_and_valid(self):
+        rng = np.random.default_rng(3)
+        for i, j in _fair_seed_pairs(8, 15, rng):
+            assert 0 <= i < j < 8
+
+
+class TestMostUncertainPairs:
+    def test_picks_nearest_half(self):
+        closure = np.array([
+            [0.0, 0.9, 0.51],
+            [0.1, 0.0, 0.99],
+            [0.49, 0.01, 0.0],
+        ])
+        rng = np.random.default_rng(4)
+        pairs = _most_uncertain_pairs(closure, 1, rng)
+        assert pairs == [(0, 2)]
+
+    def test_count_respected(self):
+        rng = np.random.default_rng(5)
+        closure = rng.uniform(0.2, 0.8, size=(6, 6))
+        closure = closure / (closure + closure.T)
+        np.fill_diagonal(closure, 0.0)
+        pairs = _most_uncertain_pairs(closure, 4, rng)
+        assert len(pairs) == 4
+        assert len(set(pairs)) == 4
+
+    def test_count_larger_than_pairs_clipped(self):
+        rng = np.random.default_rng(6)
+        closure = np.full((3, 3), 0.5)
+        np.fill_diagonal(closure, 0.0)
+        pairs = _most_uncertain_pairs(closure, 50, rng)
+        assert len(pairs) == 3
+
+    def test_ordering_by_uncertainty(self):
+        closure = np.array([
+            [0.0, 0.50, 0.80],
+            [0.50, 0.0, 0.60],
+            [0.20, 0.40, 0.0],
+        ])
+        rng = np.random.default_rng(7)
+        pairs = _most_uncertain_pairs(closure, 3, rng)
+        assert pairs[0] == (0, 1)  # exactly 0.5
+        assert pairs[1] == (1, 2)  # 0.6
+        assert pairs[2] == (0, 2)  # 0.8

@@ -1,0 +1,115 @@
+"""Unit tests for repro.assignment (generator, fairness, assigner)."""
+
+import pytest
+
+from repro.assignment import (
+    assign_hits,
+    batch_into_hits,
+    generate_assignment,
+    verify_assignment,
+)
+from repro.budget import plan_for_selection_ratio
+from repro.exceptions import AssignmentError
+from repro.graphs import TaskGraph
+
+
+@pytest.fixture
+def plan():
+    return plan_for_selection_ratio(12, 0.5, workers_per_task=4)
+
+
+@pytest.fixture
+def assignment(plan):
+    return generate_assignment(plan, rng=9)
+
+
+class TestBatchIntoHits:
+    def test_singleton_hits(self):
+        graph = TaskGraph(4, [(0, 1), (1, 2), (2, 3)])
+        hits = batch_into_hits(graph, comparisons_per_hit=1, rng=0)
+        assert len(hits) == 3
+        assert all(len(hit) == 1 for hit in hits)
+
+    def test_batched_hits(self):
+        graph = TaskGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        hits = batch_into_hits(graph, comparisons_per_hit=2, rng=0)
+        assert [len(h) for h in hits] == [2, 2, 1]
+
+    def test_all_edges_covered_once(self):
+        graph = TaskGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        hits = batch_into_hits(graph, comparisons_per_hit=2, rng=1)
+        pairs = [pair for hit in hits for pair in hit.pairs]
+        assert sorted(pairs) == sorted(graph.edges())
+
+    def test_hit_ids_sequential(self):
+        graph = TaskGraph(4, [(0, 1), (1, 2), (2, 3)])
+        hits = batch_into_hits(graph, rng=0)
+        assert [hit.hit_id for hit in hits] == [0, 1, 2]
+
+    def test_invalid_batch_size(self):
+        graph = TaskGraph(3, [(0, 1)])
+        with pytest.raises(AssignmentError):
+            batch_into_hits(graph, comparisons_per_hit=0)
+
+
+class TestGenerateAssignment:
+    def test_edge_count_matches_plan(self, plan, assignment):
+        assert assignment.task_graph.n_edges == plan.n_comparisons
+
+    def test_all_pairs_unique(self, assignment):
+        pairs = assignment.all_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    def test_deterministic_with_seed(self, plan):
+        a = generate_assignment(plan, rng=5)
+        b = generate_assignment(plan, rng=5)
+        assert set(a.task_graph.edges()) == set(b.task_graph.edges())
+
+
+class TestVerifyAssignment:
+    def test_requirements_met(self, assignment):
+        report = verify_assignment(assignment)
+        assert report.all_requirements_met
+        assert report.near_fair
+        assert report.connected
+        assert report.budget_respected
+        assert report.degree_max - report.degree_min <= 1
+
+    def test_hp_likelihood_positive(self, assignment):
+        report = verify_assignment(assignment)
+        assert report.hp_likelihood_bound > 0.0
+
+    def test_fair_when_degrees_divide(self):
+        # n=10, l=25 -> exact degree 5.
+        plan = plan_for_selection_ratio(10, 25 / 45, workers_per_task=2)
+        assignment = generate_assignment(plan, rng=2)
+        report = verify_assignment(assignment)
+        assert report.fair
+        assert report.io_probability_spread == 0.0
+
+
+class TestAssignHits:
+    def test_workers_distinct_per_hit(self, assignment):
+        worker_assignment = assign_hits(assignment, n_workers=10,
+                                        workers_per_hit=4, rng=1)
+        for workers in worker_assignment.hit_workers:
+            assert len(set(workers)) == 4
+
+    def test_total_votes(self, assignment, plan):
+        worker_assignment = assign_hits(assignment, n_workers=10,
+                                        workers_per_hit=4, rng=1)
+        assert worker_assignment.total_votes == plan.n_comparisons * 4
+
+    def test_workload_sums_to_total(self, assignment):
+        worker_assignment = assign_hits(assignment, n_workers=10,
+                                        workers_per_hit=4, rng=1)
+        workload = worker_assignment.workload()
+        assert sum(workload.values()) == worker_assignment.total_votes
+
+    def test_w_exceeding_m_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assign_hits(assignment, n_workers=3, workers_per_hit=4)
+
+    def test_zero_workers_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assign_hits(assignment, n_workers=0, workers_per_hit=1)

@@ -1,0 +1,100 @@
+"""Unit tests for workload-capped HIT assignment."""
+
+import pytest
+
+from repro.assignment import assign_hits, generate_assignment
+from repro.budget import plan_for_selection_ratio
+from repro.exceptions import AssignmentError
+
+
+@pytest.fixture
+def assignment():
+    plan = plan_for_selection_ratio(10, 0.5, workers_per_task=3)
+    return generate_assignment(plan, rng=5)
+
+
+class TestQuotaAssignment:
+    def test_quota_respected(self, assignment):
+        quota = 10
+        worker_assignment = assign_hits(
+            assignment, n_workers=10, workers_per_hit=3, rng=1,
+            max_comparisons_per_worker=quota,
+        )
+        workload = worker_assignment.workload()
+        assert all(load <= quota for load in workload.values())
+
+    def test_total_votes_unchanged(self, assignment):
+        worker_assignment = assign_hits(
+            assignment, n_workers=10, workers_per_hit=3, rng=1,
+            max_comparisons_per_worker=10,
+        )
+        assert worker_assignment.total_votes == 22 * 3
+
+    def test_load_balanced(self, assignment):
+        """Least-loaded strategy keeps the spread tight: with quota off
+        by plenty, loads differ by at most one HIT's cost."""
+        worker_assignment = assign_hits(
+            assignment, n_workers=10, workers_per_hit=3, rng=1,
+            max_comparisons_per_worker=100,
+        )
+        loads = list(worker_assignment.workload().values())
+        assert max(loads) - min(loads) <= 1
+
+    def test_exact_quota_feasible(self, assignment):
+        """m * quota == total needed: everyone works exactly quota."""
+        total = 22 * 3
+        n_workers = 11
+        quota = total // n_workers  # 6
+        worker_assignment = assign_hits(
+            assignment, n_workers=n_workers, workers_per_hit=3, rng=2,
+            max_comparisons_per_worker=quota,
+        )
+        workload = worker_assignment.workload()
+        assert all(load == quota for load in workload.values())
+
+    def test_infeasible_quota_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assign_hits(assignment, n_workers=5, workers_per_hit=3, rng=1,
+                        max_comparisons_per_worker=2)
+
+    def test_zero_quota_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assign_hits(assignment, n_workers=10, workers_per_hit=3, rng=1,
+                        max_comparisons_per_worker=0)
+
+    def test_distinct_workers_per_hit(self, assignment):
+        worker_assignment = assign_hits(
+            assignment, n_workers=6, workers_per_hit=3, rng=3,
+            max_comparisons_per_worker=15,
+        )
+        for workers in worker_assignment.hit_workers:
+            assert len(set(workers)) == 3
+
+    def test_bundled_hits_fragmentation_detected(self):
+        """c = 4 bundles with a tiny per-worker quota: aggregate budget
+        fits but no worker can take a whole HIT -> explicit error."""
+        plan = plan_for_selection_ratio(9, 1.0, workers_per_task=2)
+        assignment = generate_assignment(plan, rng=7, comparisons_per_hit=4)
+        with pytest.raises(AssignmentError):
+            assign_hits(assignment, n_workers=36, workers_per_hit=2, rng=7,
+                        max_comparisons_per_worker=3)
+
+    def test_end_to_end_with_quota(self, assignment):
+        from repro.config import FAST_PIPELINE
+        from repro.inference import infer_ranking
+        from repro.platform import NonInteractivePlatform
+        from repro.types import Ranking
+        from repro.workers import (QualityLevel, WorkerPool,
+                                   gaussian_preset)
+
+        truth = Ranking.random(10, rng=5)
+        pool = WorkerPool.from_distribution(
+            10, gaussian_preset(QualityLevel.HIGH), rng=5
+        )
+        worker_assignment = assign_hits(
+            assignment, n_workers=10, workers_per_hit=3, rng=5,
+            max_comparisons_per_worker=8,
+        )
+        run = NonInteractivePlatform(pool, truth).run(worker_assignment)
+        result = infer_ranking(run.votes, FAST_PIPELINE, rng=5)
+        assert sorted(result.ranking.order) == list(range(10))

@@ -1,0 +1,114 @@
+"""Unit tests for repro.budget (model + planner)."""
+
+import pytest
+
+from repro.budget import (
+    BudgetModel,
+    BudgetPlan,
+    plan_for_budget,
+    plan_for_selection_ratio,
+)
+from repro.exceptions import BudgetError
+
+
+class TestBudgetModel:
+    def test_paper_formula(self):
+        """l = floor(B / (w * r))."""
+        model = BudgetModel(total=10.0, workers_per_task=5, reward=0.025)
+        assert model.affordable_comparisons() == 80
+
+    def test_floor_behaviour(self):
+        model = BudgetModel(total=0.99, workers_per_task=2, reward=0.25)
+        assert model.affordable_comparisons() == 1
+
+    def test_cost_per_comparison(self):
+        model = BudgetModel(total=1.0, workers_per_task=4, reward=0.025)
+        assert model.cost_per_comparison == pytest.approx(0.1)
+
+    def test_cost_of_and_can_afford(self):
+        model = BudgetModel(total=1.0, workers_per_task=4, reward=0.025)
+        assert model.cost_of(10) == pytest.approx(1.0)
+        assert model.can_afford(10)
+        assert not model.can_afford(11)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            BudgetModel(total=-1, workers_per_task=1)
+        with pytest.raises(BudgetError):
+            BudgetModel(total=1, workers_per_task=0)
+        with pytest.raises(BudgetError):
+            BudgetModel(total=1, workers_per_task=1, reward=0.0)
+        with pytest.raises(BudgetError):
+            BudgetModel(total=1, workers_per_task=1).cost_of(-1)
+
+    def test_required_budget_is_exact(self):
+        model = BudgetModel.required_budget(45, workers_per_task=5)
+        assert model.affordable_comparisons() == 45
+
+    def test_selection_ratio(self):
+        model = BudgetModel.required_budget(45, workers_per_task=5)
+        assert model.selection_ratio(10) == pytest.approx(1.0)
+        model_small = BudgetModel.required_budget(9, workers_per_task=5)
+        assert model_small.selection_ratio(10) == pytest.approx(0.2)
+
+    def test_selection_ratio_clipped_at_one(self):
+        model = BudgetModel(total=1e6, workers_per_task=1, reward=0.01)
+        assert model.selection_ratio(10) == 1.0
+
+
+class TestBudgetPlan:
+    def test_properties(self):
+        plan = plan_for_selection_ratio(10, 0.5, workers_per_task=3)
+        assert plan.n_comparisons == 22  # round(0.5 * 45)
+        assert plan.selection_ratio == pytest.approx(22 / 45)
+        assert plan.total_votes == 66
+        assert plan.spend == pytest.approx(plan.budget.total)
+
+    def test_infeasible_count_rejected(self):
+        budget = BudgetModel.required_budget(100, workers_per_task=1)
+        with pytest.raises(BudgetError):
+            BudgetPlan(n_objects=10, n_comparisons=46, budget=budget)
+        with pytest.raises(BudgetError):
+            BudgetPlan(n_objects=10, n_comparisons=8, budget=budget)
+
+    def test_unaffordable_rejected(self):
+        budget = BudgetModel.required_budget(10, workers_per_task=1)
+        with pytest.raises(BudgetError):
+            BudgetPlan(n_objects=10, n_comparisons=20, budget=budget)
+
+
+class TestPlanForBudget:
+    def test_clips_to_all_pairs(self):
+        budget = BudgetModel(total=1e6, workers_per_task=1, reward=0.01)
+        plan = plan_for_budget(10, budget)
+        assert plan.n_comparisons == 45
+
+    def test_too_small_budget_rejected(self):
+        budget = BudgetModel(total=0.05, workers_per_task=1, reward=0.025)
+        with pytest.raises(BudgetError):
+            plan_for_budget(10, budget)
+
+    def test_exact_minimum(self):
+        budget = BudgetModel.required_budget(9, workers_per_task=1)
+        plan = plan_for_budget(10, budget)
+        assert plan.n_comparisons == 9
+
+
+class TestPlanForSelectionRatio:
+    def test_ratio_one_is_all_pairs(self):
+        plan = plan_for_selection_ratio(10, 1.0, workers_per_task=2)
+        assert plan.n_comparisons == 45
+
+    def test_tiny_ratio_clipped_to_spanning(self):
+        plan = plan_for_selection_ratio(10, 0.01, workers_per_task=2)
+        assert plan.n_comparisons == 9  # n - 1 floor
+
+    def test_invalid_ratio(self):
+        with pytest.raises(BudgetError):
+            plan_for_selection_ratio(10, 0.0, workers_per_task=2)
+        with pytest.raises(BudgetError):
+            plan_for_selection_ratio(10, 1.2, workers_per_task=2)
+
+    def test_budget_matches_spend(self):
+        plan = plan_for_selection_ratio(20, 0.3, workers_per_task=4, reward=0.05)
+        assert plan.budget.total == pytest.approx(plan.n_comparisons * 4 * 0.05)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.budget.optimizer (minimal-budget search)."""
+
+import pytest
+
+from repro.budget import minimal_selection_ratio
+from repro.config import FAST_PIPELINE
+from repro.datasets import make_scenario
+from repro.exceptions import ConfigurationError
+from repro.workers import QualityLevel
+
+
+def factory(n=25, level=QualityLevel.HIGH):
+    """A scenario factory with fixed truth/pool per ratio probe."""
+
+    def build(ratio, rng):
+        return make_scenario(
+            n, ratio, n_workers=20, workers_per_task=4, level=level, rng=77
+        )
+
+    return build
+
+
+class TestMinimalSelectionRatio:
+    def test_finds_ratio_below_full(self):
+        result = minimal_selection_ratio(
+            factory(), target_accuracy=0.85, repeats=1,
+            config=FAST_PIPELINE, rng=1,
+        )
+        assert result.selection_ratio < 1.0
+        assert result.accuracy >= 0.85
+        assert result.n_comparisons >= 24  # spanning floor n-1
+
+    def test_probes_recorded(self):
+        result = minimal_selection_ratio(
+            factory(), target_accuracy=0.85, repeats=1,
+            config=FAST_PIPELINE, rng=2,
+        )
+        assert 1.0 in result.probes
+        assert len(result.probes) >= 2
+
+    def test_unreachable_target_rejected(self):
+        """Low-quality workers cannot hit 0.995."""
+        result_factory = factory(level=QualityLevel.LOW)
+        with pytest.raises(ConfigurationError):
+            minimal_selection_ratio(
+                result_factory, target_accuracy=0.995, repeats=1,
+                config=FAST_PIPELINE, rng=3,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimal_selection_ratio(factory(), target_accuracy=0.4)
+        with pytest.raises(ConfigurationError):
+            minimal_selection_ratio(factory(), target_accuracy=0.9,
+                                    repeats=0)
+
+    def test_easy_target_met_at_spanning_floor(self):
+        """High-quality workers hit a modest target at tiny budgets."""
+        result = minimal_selection_ratio(
+            factory(), target_accuracy=0.75, repeats=1,
+            config=FAST_PIPELINE, rng=4,
+        )
+        assert result.selection_ratio <= 0.5

@@ -1,0 +1,26 @@
+"""Unit tests for the CLI ``reproduce`` command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import load_records_csv
+
+
+class TestReproduceCommand:
+    def test_table1_prints(self, capsys):
+        assert main(["reproduce", "table1", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "saps" in out and "rc" in out and "qs" in out
+
+    def test_fig5_objects_csv_export(self, tmp_path, capsys):
+        out_path = tmp_path / "fig5.csv"
+        assert main(["reproduce", "fig5-objects", "--seed", "9",
+                     "--out", str(out_path)]) == 0
+        rows = load_records_csv(out_path)
+        assert len(rows) == 6  # 3 sizes x 2 quality families
+        assert all(0.0 <= float(row["accuracy"]) <= 1.0 for row in rows)
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])

@@ -1,0 +1,63 @@
+"""Unit tests for repro.experiments.export."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.experiments import (
+    export_records_csv,
+    export_records_json,
+    load_records_csv,
+)
+from repro.experiments.runner import ExperimentRecord
+
+
+@pytest.fixture
+def records():
+    return [
+        ExperimentRecord("saps", 10, 0.5, 3, "Gaussian", 0.95, 0.11,
+                         extras={"note": "x"}),
+        ExperimentRecord("rc", 10, 0.5, 3, "Gaussian", 0.52, 0.01),
+    ]
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path, records):
+        path = tmp_path / "table.csv"
+        export_records_csv(records, path)
+        rows = load_records_csv(path)
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "saps"
+        assert float(rows[0]["accuracy"]) == pytest.approx(0.95)
+        assert rows[1]["note"] == ""  # missing extras render empty
+
+    def test_explicit_columns(self, tmp_path, records):
+        path = tmp_path / "narrow.csv"
+        export_records_csv(records, path, columns=["algorithm", "accuracy"])
+        rows = load_records_csv(path)
+        assert list(rows[0].keys()) == ["algorithm", "accuracy"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            export_records_csv([], tmp_path / "empty.csv")
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "headeronly.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataFormatError):
+            load_records_csv(path)
+
+
+class TestJsonExport:
+    def test_valid_json(self, tmp_path, records):
+        path = tmp_path / "table.json"
+        export_records_json(records, path)
+        payload = json.loads(path.read_text())
+        assert len(payload) == 2
+        assert payload[0]["algorithm"] == "saps"
+        assert payload[0]["note"] == "x"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            export_records_json([], tmp_path / "empty.json")

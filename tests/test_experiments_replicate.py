@@ -1,0 +1,64 @@
+"""Unit tests for repro.experiments.replicate."""
+
+import pytest
+
+from repro.config import FAST_PIPELINE
+from repro.datasets import make_scenario
+from repro.exceptions import ConfigurationError
+from repro.experiments import replicate, run_pipeline_arm
+from repro.experiments.runner import ExperimentRecord
+
+
+def pipeline_arm(seed_like):
+    scenario = make_scenario(12, 0.5, n_workers=10, workers_per_task=4,
+                             rng=seed_like)
+    return run_pipeline_arm(scenario, FAST_PIPELINE, rng=seed_like)
+
+
+class TestReplicate:
+    def test_aggregates_repeats(self):
+        aggregate = replicate(pipeline_arm, repeats=3, rng=5)
+        assert aggregate.n_repeats == 3
+        assert 0.0 <= aggregate.mean_accuracy <= 1.0
+        assert aggregate.std_accuracy >= 0.0
+        assert aggregate.mean_seconds > 0.0
+
+    def test_seeds_vary_outcomes(self):
+        aggregate = replicate(pipeline_arm, repeats=4, rng=6)
+        # Independent scenarios: at least two distinct accuracies.
+        assert len(set(aggregate.accuracies)) >= 2
+
+    def test_single_repeat_zero_std(self):
+        aggregate = replicate(pipeline_arm, repeats=1, rng=7)
+        assert aggregate.std_accuracy == 0.0
+        assert aggregate.confidence_halfwidth() == 0.0
+
+    def test_confidence_halfwidth_positive(self):
+        aggregate = replicate(pipeline_arm, repeats=3, rng=8)
+        assert aggregate.confidence_halfwidth() >= 0.0
+
+    def test_summary_line(self):
+        aggregate = replicate(pipeline_arm, repeats=2, rng=9)
+        text = aggregate.summary()
+        assert "saps" in text
+        assert "±" in text
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(pipeline_arm, repeats=0)
+
+    def test_mixed_arms_rejected(self):
+        toggle = {"flip": False}
+
+        def inconsistent(seed_like):
+            toggle["flip"] = not toggle["flip"]
+            name = "a" if toggle["flip"] else "b"
+            return ExperimentRecord(name, 5, 0.5, 2, "q", 0.9, 0.1)
+
+        with pytest.raises(ConfigurationError):
+            replicate(inconsistent, repeats=2, rng=1)
+
+    def test_deterministic_given_parent_seed(self):
+        a = replicate(pipeline_arm, repeats=2, rng=11)
+        b = replicate(pipeline_arm, repeats=2, rng=11)
+        assert a.accuracies == b.accuracies

@@ -1,0 +1,84 @@
+"""Golden regression tests: seeded end-to-end outputs must stay stable.
+
+These lock in concrete numeric behaviour under fixed seeds so that
+accidental behaviour changes (a reordered RNG draw, a changed default)
+surface as test failures rather than silent accuracy drift.  Tolerances
+are tight but not exact — numpy minor versions may reorder float
+reductions.
+
+When a change *intentionally* alters results (e.g. a better default),
+update the constants here and document the change in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import FAST_PIPELINE, rank_with_crowd
+from repro.datasets import make_scenario
+from repro.experiments import run_pipeline_arm
+from repro.experiments.runner import collect_votes
+from repro.truth import discover_truth
+from repro.types import Ranking
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+class TestGoldenEndToEnd:
+    def test_medium_quality_accuracy_band(self):
+        """n=50, r=0.3, Gaussian medium, seed 7: accuracy locked."""
+        scenario = make_scenario(50, 0.3, n_workers=30, workers_per_task=5,
+                                 rng=7)
+        record = run_pipeline_arm(scenario, FAST_PIPELINE, rng=7)
+        assert record.accuracy == pytest.approx(0.93, abs=0.04)
+
+    def test_facade_deterministic_ranking_prefix(self):
+        """The facade's full output is a deterministic function of the
+        seed: the top of the ranking must not drift."""
+        truth = Ranking.random(20, rng=123)
+        pool = WorkerPool.from_distribution(
+            15, gaussian_preset(QualityLevel.HIGH), rng=123
+        )
+        outcome = rank_with_crowd(truth, pool, selection_ratio=0.5,
+                                  workers_per_task=5, config=FAST_PIPELINE,
+                                  rng=123)
+        again_pool = WorkerPool.from_distribution(
+            15, gaussian_preset(QualityLevel.HIGH), rng=123
+        )
+        outcome_again = rank_with_crowd(truth, again_pool,
+                                        selection_ratio=0.5,
+                                        workers_per_task=5,
+                                        config=FAST_PIPELINE, rng=123)
+        assert outcome.ranking == outcome_again.ranking
+        # High-quality crowd at r=0.5 recovers the truth's head.
+        assert outcome.ranking.order[:3] == truth.order[:3]
+
+    def test_truth_discovery_iteration_count_stable(self):
+        """Seeded CRH iteration count is part of the behavioural
+        contract (the convergence benchmark depends on it)."""
+        scenario = make_scenario(30, 0.4, n_workers=20, workers_per_task=5,
+                                 rng=99)
+        votes = collect_votes(scenario, rng=99)
+        result = discover_truth(votes)
+        assert result.trace.converged
+        assert result.iterations <= 20
+
+    def test_vote_count_exact(self):
+        """The plan arithmetic is exact: votes = round(r*C(n,2)) * w."""
+        scenario = make_scenario(30, 0.4, n_workers=20, workers_per_task=5,
+                                 rng=99)
+        votes = collect_votes(scenario, rng=99)
+        assert len(votes) == round(0.4 * 435) * 5
+
+    def test_quality_estimates_monotone_with_sigma(self):
+        """Across a seeded run, workers' estimated quality must be
+        anti-correlated with their true sigma."""
+        import numpy as np
+
+        scenario = make_scenario(40, 0.5, n_workers=20, workers_per_task=6,
+                                 quality="uniform", level=QualityLevel.LOW,
+                                 rng=17)
+        votes = collect_votes(scenario, rng=17)
+        result = discover_truth(votes)
+        sigmas = scenario.pool.sigmas()
+        estimated = np.array([result.worker_quality[k]
+                              for k in range(len(sigmas))])
+        correlation = np.corrcoef(sigmas, estimated)[0, 1]
+        assert correlation < -0.5

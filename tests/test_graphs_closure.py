@@ -1,0 +1,132 @@
+"""Unit tests for repro.graphs.closure (propagation kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import WeightedDigraph
+from repro.graphs.closure import (
+    propagate_exact_paths,
+    propagate_walks,
+    transitive_closure_bool,
+)
+
+
+@pytest.fixture
+def chain():
+    """0 -> 1 -> 2 -> 3 with distinct weights."""
+    graph = WeightedDigraph(4)
+    graph.add_edge(0, 1, 0.9)
+    graph.add_edge(1, 2, 0.8)
+    graph.add_edge(2, 3, 0.7)
+    return graph
+
+
+class TestTransitiveClosureBool:
+    def test_chain_reachability(self, chain):
+        closure = transitive_closure_bool(chain)
+        assert closure[0, 3]
+        assert closure[0, 2]
+        assert not closure[3, 0]
+        assert not closure[0, 0]
+
+    def test_cycle_reaches_everything(self):
+        graph = WeightedDigraph(3)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 0, 1.0)
+        closure = transitive_closure_bool(graph)
+        off_diagonal = ~np.eye(3, dtype=bool)
+        assert closure[off_diagonal].all()
+
+
+class TestPropagateExactPaths:
+    def test_chain_products(self, chain):
+        indirect = propagate_exact_paths(chain)
+        assert indirect[0, 2] == pytest.approx(0.9 * 0.8)
+        assert indirect[0, 3] == pytest.approx(0.9 * 0.8 * 0.7)
+        # Direct edges (length-1) are excluded.
+        assert indirect[0, 1] == 0.0
+
+    def test_multiple_paths_summed(self):
+        """Two parallel 2-hop paths from 0 to 3."""
+        graph = WeightedDigraph(4)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 3, 0.5)
+        graph.add_edge(0, 2, 0.4)
+        graph.add_edge(2, 3, 0.4)
+        indirect = propagate_exact_paths(graph)
+        assert indirect[0, 3] == pytest.approx(0.5 * 0.5 + 0.4 * 0.4)
+
+    def test_length_cap_respected(self, chain):
+        indirect = propagate_exact_paths(chain, max_length=2)
+        assert indirect[0, 2] > 0.0
+        assert indirect[0, 3] == 0.0  # needs 3 hops
+
+    def test_simple_paths_only(self):
+        """A cycle must not contribute revisiting paths."""
+        graph = WeightedDigraph(3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 0, 0.5)
+        graph.add_edge(1, 2, 0.5)
+        indirect = propagate_exact_paths(graph)
+        # Only path 0 -> 1 -> 2 (0 -> 1 -> 0 -> 1 -> 2 revisits).
+        assert indirect[0, 2] == pytest.approx(0.25)
+
+    def test_size_guard(self):
+        graph = WeightedDigraph(20)
+        with pytest.raises(GraphError):
+            propagate_exact_paths(graph, max_vertices=14)
+
+    def test_bad_length(self, chain):
+        with pytest.raises(GraphError):
+            propagate_exact_paths(chain, max_length=1)
+
+
+class TestPropagateWalks:
+    def test_matches_exact_on_dag(self, chain):
+        """On a DAG all walks are simple paths, so kernels agree."""
+        walks = propagate_walks(chain.weight_matrix(), max_hops=3)
+        exact = propagate_exact_paths(chain)
+        assert np.allclose(walks, exact)
+
+    def test_walks_include_revisits_on_cycles(self):
+        """The 3-hop walk 1 -> 0 -> 1 -> 2 revisits vertex 1, so the walk
+        kernel sees evidence for (1, 2) that simple-path enumeration
+        excludes."""
+        graph = WeightedDigraph(4)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 0, 0.5)
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        walks = propagate_walks(graph.weight_matrix(), max_hops=3)
+        exact = propagate_exact_paths(graph)
+        assert walks[1, 2] > exact[1, 2]
+
+    def test_hop_bound(self, chain):
+        walks = propagate_walks(chain.weight_matrix(), max_hops=2)
+        assert walks[0, 3] == 0.0
+        walks3 = propagate_walks(chain.weight_matrix(), max_hops=3)
+        assert walks3[0, 3] > 0.0
+
+    def test_ensure_coverage_extends(self):
+        """A 6-chain at max_hops=2 misses the far pair unless coverage
+        extension kicks in."""
+        n = 6
+        graph = WeightedDigraph(n)
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1, 0.9)
+        limited = propagate_walks(graph.weight_matrix(), 2, ensure_coverage=False)
+        assert limited[0, n - 1] == 0.0
+        covered = propagate_walks(graph.weight_matrix(), 2, ensure_coverage=True)
+        assert covered[0, n - 1] > 0.0
+
+    def test_zero_diagonal(self, chain):
+        walks = propagate_walks(chain.weight_matrix(), max_hops=3)
+        assert np.all(np.diagonal(walks) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            propagate_walks(np.ones((2, 3)), 2)
+        with pytest.raises(GraphError):
+            propagate_walks(np.zeros((3, 3)), 1)

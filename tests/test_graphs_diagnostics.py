@@ -1,0 +1,52 @@
+"""Unit tests for the task-graph diagnostics (degree histogram, diameter)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import TaskGraph, degree_histogram, diameter
+from repro.graphs.generators import near_regular_task_graph, star_task_graph
+
+
+class TestDegreeHistogram:
+    def test_regular_graph_single_bucket(self):
+        graph = TaskGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert degree_histogram(graph) == {2: 4}
+
+    def test_near_regular_two_buckets(self):
+        graph = near_regular_task_graph(7, 12, rng=1)
+        histogram = degree_histogram(graph)
+        assert len(histogram) <= 2
+        assert sum(histogram.values()) == 7
+
+    def test_star_buckets(self):
+        graph = star_task_graph(6)
+        assert degree_histogram(graph) == {5: 1, 1: 5}
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        graph = TaskGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert diameter(graph) == 4
+
+    def test_complete_graph(self):
+        assert diameter(TaskGraph.complete(6)) == 1
+
+    def test_star(self):
+        assert diameter(star_task_graph(8)) == 2
+
+    def test_cycle(self):
+        graph = TaskGraph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
+                              (0, 5)])
+        assert diameter(graph) == 3
+
+    def test_disconnected_rejected(self):
+        graph = TaskGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            diameter(graph)
+
+    def test_generated_plans_have_small_diameter(self):
+        """Near-regular random plans at moderate density are
+        small-world: the adaptive propagation depth comfortably covers
+        the true diameter."""
+        graph = near_regular_task_graph(60, 270, rng=3)  # degree 9
+        assert diameter(graph) <= 5

@@ -1,0 +1,119 @@
+"""Unit tests for repro.graphs.generators (Algorithm 1's construction)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AssignmentError, GraphError
+from repro.graphs import (
+    erdos_renyi_task_graph,
+    near_regular_task_graph,
+    random_hamiltonian_path,
+    star_task_graph,
+)
+
+
+class TestRandomHamiltonianPath:
+    def test_is_permutation(self):
+        path = random_hamiltonian_path(10, rng=0)
+        assert sorted(path) == list(range(10))
+
+    def test_deterministic_with_seed(self):
+        assert random_hamiltonian_path(8, rng=3) == random_hamiltonian_path(8, rng=3)
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            random_hamiltonian_path(1)
+
+
+class TestNearRegularTaskGraph:
+    @pytest.mark.parametrize(
+        "n,l",
+        [(5, 4), (5, 10), (10, 20), (10, 9), (20, 50), (50, 200), (7, 12)],
+    )
+    def test_edge_count_exact(self, n, l):
+        graph = near_regular_task_graph(n, l, rng=1)
+        assert graph.n_vertices == n
+        assert graph.n_edges == l
+
+    @pytest.mark.parametrize("n,l", [(10, 20), (12, 30), (30, 90)])
+    def test_near_regular(self, n, l):
+        graph = near_regular_task_graph(n, l, rng=2)
+        d_min, d_max = graph.degree_bounds()
+        assert d_max - d_min <= 1
+
+    def test_exactly_regular_when_divisible(self):
+        # n=10, l=25 -> degree 5 everywhere.
+        graph = near_regular_task_graph(10, 25, rng=3)
+        assert graph.is_regular()
+
+    def test_connected(self):
+        for seed in range(5):
+            graph = near_regular_task_graph(15, 25, rng=seed)
+            assert graph.is_connected()
+
+    def test_contains_seed_path(self):
+        seed_path = list(range(8))
+        graph = near_regular_task_graph(8, 16, rng=0, seed_path=seed_path)
+        assert graph.contains_path(seed_path)
+
+    def test_bad_seed_path_rejected(self):
+        with pytest.raises(AssignmentError):
+            near_regular_task_graph(5, 6, seed_path=[0, 1, 2, 3, 3])
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(AssignmentError):
+            near_regular_task_graph(5, 3)  # below n-1
+        with pytest.raises(AssignmentError):
+            near_regular_task_graph(5, 11)  # above C(5,2)
+
+    def test_complete_graph_budget(self):
+        graph = near_regular_task_graph(6, 15, rng=4)
+        assert graph.n_edges == 15
+        assert graph.is_regular()
+
+    def test_large_instance_fast(self):
+        graph = near_regular_task_graph(500, 12475, rng=5)  # r ~ 0.1
+        assert graph.n_edges == 12475
+        d_min, d_max = graph.degree_bounds()
+        assert d_max - d_min <= 1
+        assert graph.is_connected()
+
+    def test_randomness_varies_graphs(self):
+        a = set(near_regular_task_graph(12, 24, rng=1).edges())
+        b = set(near_regular_task_graph(12, 24, rng=2).edges())
+        assert a != b
+
+
+class TestStarTaskGraph:
+    def test_structure(self):
+        graph = star_task_graph(5, center=2)
+        assert graph.n_edges == 4
+        assert graph.degree(2) == 4
+        assert all(graph.degree(v) == 1 for v in range(5) if v != 2)
+
+    def test_bad_center(self):
+        with pytest.raises(GraphError):
+            star_task_graph(5, center=5)
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        graph = erdos_renyi_task_graph(20, 40, rng=1)
+        assert graph.n_edges == 40
+
+    def test_connected_by_default(self):
+        graph = erdos_renyi_task_graph(15, 30, rng=2)
+        assert graph.is_connected()
+
+    def test_unconnected_allowed(self):
+        graph = erdos_renyi_task_graph(20, 5, rng=3, ensure_connected=False)
+        assert graph.n_edges == 5
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(AssignmentError):
+            erdos_renyi_task_graph(5, 11)
+
+    def test_impossible_connectivity_raises(self):
+        # 2 edges can never connect 20 vertices.
+        with pytest.raises(AssignmentError):
+            erdos_renyi_task_graph(20, 2, rng=4, max_attempts=5)

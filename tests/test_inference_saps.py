@@ -1,0 +1,150 @@
+"""Unit tests for repro.inference.saps (Algorithms 2-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SAPSConfig
+from repro.exceptions import InferenceError
+from repro.inference.saps import (
+    _random_swap,
+    _reverse,
+    _rotate,
+    saps_search,
+    saps_search_report,
+)
+from repro.inference.taps import branch_and_bound_search
+from repro.types import Ranking
+
+
+def sharp_matrix(n, forward=0.9):
+    matrix = np.full((n, n), 1.0 - forward)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = forward
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def random_closure(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = rng.uniform(0.05, 0.95)
+            matrix[i, j] = p
+            matrix[j, i] = 1.0 - p
+    return matrix
+
+
+class TestMoves:
+    @pytest.mark.parametrize("move", [_rotate, _reverse, _random_swap])
+    def test_moves_preserve_permutation(self, move):
+        rng = np.random.default_rng(0)
+        path = np.arange(12)
+        for _ in range(100):
+            candidate = move(path, rng)
+            assert sorted(candidate.tolist()) == list(range(12))
+
+    @pytest.mark.parametrize("move", [_rotate, _reverse, _random_swap])
+    def test_moves_do_not_mutate_input(self, move):
+        rng = np.random.default_rng(1)
+        path = np.arange(10)
+        original = path.copy()
+        move(path, rng)
+        assert np.array_equal(path, original)
+
+    def test_moves_actually_move(self):
+        rng = np.random.default_rng(2)
+        path = np.arange(10)
+        changed = sum(
+            not np.array_equal(_reverse(path, rng), path) for _ in range(50)
+        )
+        assert changed > 25
+
+
+class TestSAPSSearch:
+    def test_finds_sharp_optimum(self):
+        matrix = sharp_matrix(10)
+        ranking, log_pref = saps_search(
+            matrix, SAPSConfig(iterations=3000, restarts=2), rng=0
+        )
+        assert ranking == Ranking(range(10))
+        assert log_pref == pytest.approx(9 * math.log(0.9))
+
+    @pytest.mark.parametrize("init", ["greedy", "degree", "random"])
+    def test_all_inits_work_on_sharp_instance(self, init):
+        matrix = sharp_matrix(8)
+        ranking, _ = saps_search(
+            matrix, SAPSConfig(iterations=2000, restarts=1, init=init), rng=1
+        )
+        assert ranking == Ranking(range(8))
+
+    def test_near_exact_on_random_instance(self):
+        """SAPS should land within a small gap of the exact optimum."""
+        matrix = random_closure(9, seed=5)
+        _, exact_log = branch_and_bound_search(matrix)
+        _, saps_log = saps_search(
+            matrix, SAPSConfig(iterations=4000, restarts=3), rng=2
+        )
+        assert saps_log <= exact_log + 1e-9
+        assert saps_log >= exact_log - 0.5
+
+    def test_deterministic_with_seed(self):
+        matrix = random_closure(8, seed=1)
+        config = SAPSConfig(iterations=500, restarts=1)
+        a, _ = saps_search(matrix, config, rng=9)
+        b, _ = saps_search(matrix, config, rng=9)
+        assert a == b
+
+    def test_single_object(self):
+        ranking, log_pref = saps_search(np.zeros((1, 1)))
+        assert ranking == Ranking([0])
+        assert log_pref == 0.0
+
+    def test_two_objects(self):
+        matrix = np.array([[0.0, 0.8], [0.2, 0.0]])
+        ranking, _ = saps_search(matrix, SAPSConfig(iterations=10, restarts=1),
+                                 rng=0)
+        assert ranking == Ranking([0, 1])
+
+    def test_incomplete_graph_without_path_raises(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = 0.9  # vertices 2, 3 unreachable
+        with pytest.raises(InferenceError):
+            saps_search(matrix, SAPSConfig(iterations=50, restarts=1), rng=0)
+
+    def test_report_diagnostics(self):
+        matrix = sharp_matrix(6)
+        report = saps_search_report(
+            matrix, SAPSConfig(iterations=100, restarts=2), rng=0
+        )
+        assert report.restarts == 2
+        assert report.proposed_moves == 2 * 100 * 3
+        assert 0 < report.accepted_moves <= report.proposed_moves
+
+    def test_restarts_none_uses_every_vertex(self):
+        matrix = sharp_matrix(5)
+        report = saps_search_report(
+            matrix, SAPSConfig(iterations=50, restarts=None), rng=0
+        )
+        assert report.restarts == 5
+
+    def test_better_temperature_schedule_not_worse(self):
+        """Long cold anneal should match or beat a short hot one on the
+        final preference (sanity of the Boltzmann machinery)."""
+        matrix = random_closure(12, seed=7)
+        _, hot = saps_search(
+            matrix,
+            SAPSConfig(iterations=200, restarts=1, temperature=5.0,
+                       cooling_rate=0.99),
+            rng=3,
+        )
+        _, cold = saps_search(
+            matrix,
+            SAPSConfig(iterations=5000, restarts=2, temperature=0.2,
+                       cooling_rate=0.9995),
+            rng=3,
+        )
+        assert cold >= hot - 1e-9

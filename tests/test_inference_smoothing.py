@@ -1,0 +1,157 @@
+"""Unit tests for repro.inference.smoothing (Step 2)."""
+
+import math
+
+import pytest
+
+from repro.config import SmoothingConfig
+from repro.exceptions import InferenceError
+from repro.graphs import PreferenceGraph
+from repro.inference.smoothing import smooth_preferences, worker_sigma
+from repro.types import Vote, VoteSet
+
+
+@pytest.fixture
+def unanimous_votes():
+    """3 workers unanimously vote 0 < 1 < 2 along a path."""
+    votes = []
+    for worker in range(3):
+        votes.append(Vote(worker=worker, winner=0, loser=1))
+        votes.append(Vote(worker=worker, winner=1, loser=2))
+    return VoteSet.from_votes(3, votes)
+
+
+@pytest.fixture
+def unanimous_graph():
+    return PreferenceGraph.from_direct_preferences(
+        3, {(0, 1): 1.0, (1, 2): 1.0}
+    )
+
+
+GOOD_QUALITY = {0: 0.95, 1: 0.9, 2: 0.92}
+
+
+class TestWorkerSigma:
+    def test_negative_log(self):
+        config = SmoothingConfig()
+        assert worker_sigma(0.5, config) == pytest.approx(math.log(2.0))
+
+    def test_perfect_quality_floored(self):
+        config = SmoothingConfig(sigma_floor=0.01)
+        assert worker_sigma(1.0, config) == 0.01
+
+    def test_terrible_quality_capped(self):
+        config = SmoothingConfig(sigma_cap=1.5)
+        assert worker_sigma(1e-6, config) == 1.5
+
+    def test_invalid_quality_rejected(self):
+        config = SmoothingConfig()
+        with pytest.raises(InferenceError):
+            worker_sigma(0.0, config)
+        with pytest.raises(InferenceError):
+            worker_sigma(1.1, config)
+
+
+class TestSmoothPreferences:
+    def test_one_edges_get_both_directions(self, unanimous_graph,
+                                            unanimous_votes):
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY)
+        for u, v in [(0, 1), (1, 2)]:
+            assert result.graph.has_edge(u, v)
+            assert result.graph.has_edge(v, u)
+            total = result.graph.weight(u, v) + result.graph.weight(v, u)
+            assert total == pytest.approx(1.0)
+
+    def test_direction_never_inverted(self, unanimous_graph, unanimous_votes):
+        """Unanimous edges keep the crowd's direction (w >= 0.5) even for
+        very unreliable workers."""
+        bad_quality = {0: 0.05, 1: 0.05, 2: 0.05}
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    bad_quality)
+        assert result.graph.weight(0, 1) >= 0.5
+        assert result.graph.weight(1, 0) <= 0.5
+
+    def test_good_workers_small_shift(self, unanimous_graph, unanimous_votes):
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY)
+        assert result.graph.weight(0, 1) > 0.85
+
+    def test_shift_monotone_in_quality(self, unanimous_graph,
+                                       unanimous_votes):
+        good = smooth_preferences(unanimous_graph, unanimous_votes,
+                                  {0: 0.99, 1: 0.99, 2: 0.99})
+        bad = smooth_preferences(unanimous_graph, unanimous_votes,
+                                 {0: 0.5, 1: 0.5, 2: 0.5})
+        assert good.adjustments[(0, 1)] < bad.adjustments[(0, 1)]
+
+    def test_counts_one_edges(self, unanimous_graph, unanimous_votes):
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY)
+        assert result.n_one_edges == 2
+
+    def test_contested_edges_untouched(self, unanimous_votes):
+        graph = PreferenceGraph.from_direct_preferences(
+            3, {(0, 1): 1.0, (1, 2): 0.7}
+        )
+        result = smooth_preferences(graph, unanimous_votes, GOOD_QUALITY)
+        assert result.graph.weight(1, 2) == pytest.approx(0.7)
+        assert result.graph.weight(2, 1) == pytest.approx(0.3)
+        assert result.n_one_edges == 1
+
+    def test_strong_connectivity_after_smoothing(self, unanimous_graph,
+                                                 unanimous_votes):
+        """Theorem 5.1's precondition: the smoothed graph is strongly
+        connected whenever the task graph was connected."""
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY)
+        assert result.graph.is_strongly_connected()
+
+    def test_validates_as_smoothed(self, unanimous_graph, unanimous_votes):
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY)
+        result.graph.validate(smoothed=True)
+
+    def test_missing_votes_for_one_edge_rejected(self, unanimous_graph):
+        empty_pair_votes = VoteSet.from_votes(
+            3, [Vote(worker=0, winner=0, loser=1)]
+        )
+        with pytest.raises(InferenceError):
+            smooth_preferences(unanimous_graph, empty_pair_votes,
+                               GOOD_QUALITY)
+
+    def test_missing_quality_rejected(self, unanimous_graph, unanimous_votes):
+        with pytest.raises(InferenceError):
+            smooth_preferences(unanimous_graph, unanimous_votes, {0: 0.9})
+
+    def test_sampled_mode_reproducible(self, unanimous_graph,
+                                       unanimous_votes):
+        config = SmoothingConfig(mode="sampled")
+        a = smooth_preferences(unanimous_graph, unanimous_votes,
+                               GOOD_QUALITY, config, rng=7)
+        b = smooth_preferences(unanimous_graph, unanimous_votes,
+                               GOOD_QUALITY, config, rng=7)
+        assert a.adjustments == b.adjustments
+
+    def test_sampled_mode_valid_weights(self, unanimous_graph,
+                                        unanimous_votes):
+        config = SmoothingConfig(mode="sampled")
+        result = smooth_preferences(unanimous_graph, unanimous_votes,
+                                    GOOD_QUALITY, config, rng=3)
+        result.graph.validate(smoothed=True)
+
+    def test_original_graph_not_mutated(self, unanimous_graph,
+                                        unanimous_votes):
+        smooth_preferences(unanimous_graph, unanimous_votes, GOOD_QUALITY)
+        assert unanimous_graph.weight(0, 1) == 1.0
+        assert not unanimous_graph.has_edge(1, 0)
+
+    def test_reverse_one_edge_smoothed_too(self, unanimous_votes):
+        """x_ij = 0 creates a 1-edge in the reverse direction; it must be
+        smoothed symmetrically."""
+        graph = PreferenceGraph.from_direct_preferences(
+            3, {(0, 1): 0.0, (1, 2): 1.0}
+        )
+        result = smooth_preferences(graph, unanimous_votes, GOOD_QUALITY)
+        assert result.graph.weight(1, 0) >= 0.5
+        assert result.graph.has_edge(0, 1)

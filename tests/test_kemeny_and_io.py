@@ -1,0 +1,133 @@
+"""Unit tests for the Kemeny baseline and the io persistence module."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import kemeny_local_search
+from repro.config import FAST_PIPELINE
+from repro.exceptions import DataFormatError, InferenceError
+from repro.inference import infer_ranking
+from repro.io import load_result, save_result
+from repro.metrics import kendall_tau_distance, ranking_accuracy
+from repro.types import Ranking, Vote, VoteSet
+
+
+def noisy_votes(n, n_workers=5, error=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    votes = []
+    for worker in range(n_workers):
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < error:
+                    votes.append(Vote(worker=worker, winner=j, loser=i))
+                else:
+                    votes.append(Vote(worker=worker, winner=i, loser=j))
+    return VoteSet.from_votes(n, votes)
+
+
+class TestKemeny:
+    def test_perfect_votes_recover_truth(self):
+        ranking, disagreement = kemeny_local_search(noisy_votes(8, error=0.0))
+        assert ranking == Ranking(range(8))
+        assert disagreement == 0.0
+
+    def test_disagreement_counts_contradicted_votes(self):
+        votes = VoteSet.from_votes(2, [
+            Vote(worker=0, winner=0, loser=1),
+            Vote(worker=1, winner=0, loser=1),
+            Vote(worker=2, winner=1, loser=0),
+        ])
+        ranking, disagreement = kemeny_local_search(votes)
+        assert ranking == Ranking([0, 1])
+        assert disagreement == 1.0
+
+    def test_noise_tolerance(self):
+        votes = noisy_votes(12, error=0.15, seed=2)
+        ranking, _ = kemeny_local_search(votes, rng=2)
+        assert ranking_accuracy(ranking, Ranking(range(12))) > 0.9
+
+    def test_objective_not_worse_than_borda_start(self):
+        from repro.baselines import borda_count
+
+        votes = noisy_votes(10, error=0.2, seed=3)
+        wins = np.zeros((10, 10))
+        for vote in votes:
+            wins[vote.winner, vote.loser] += 1
+
+        def objective(ranking):
+            total = 0.0
+            order = list(ranking.order)
+            for a in range(len(order)):
+                for b in range(a + 1, len(order)):
+                    total += wins[order[b], order[a]]
+            return total
+
+        borda = borda_count(votes, rng=3)
+        kemeny, disagreement = kemeny_local_search(votes, rng=3)
+        assert disagreement <= objective(borda) + 1e-9
+        assert disagreement == pytest.approx(objective(kemeny))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            kemeny_local_search(VoteSet.from_votes(3, []))
+
+    def test_runner_dispatch(self):
+        from repro.datasets import make_scenario
+        from repro.experiments import run_baseline_arm
+        from repro.experiments.runner import collect_votes
+
+        scenario = make_scenario(12, 0.6, n_workers=10, workers_per_task=4,
+                                 rng=4)
+        votes = collect_votes(scenario, rng=4)
+        record = run_baseline_arm(scenario, "kemeny", rng=4, votes=votes)
+        assert record.algorithm == "kemeny"
+        assert record.accuracy > 0.7
+
+
+class TestResultIO:
+    @pytest.fixture
+    def result(self, tiny_votes):
+        return infer_ranking(tiny_votes, FAST_PIPELINE, rng=0)
+
+    def test_round_trip(self, tmp_path, result):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.ranking == result.ranking
+        assert loaded.log_preference == pytest.approx(result.log_preference)
+        assert loaded.worker_quality == pytest.approx(result.worker_quality)
+        assert loaded.direct_preferences == pytest.approx(
+            result.direct_preferences
+        )
+        assert loaded.metadata["search_algorithm"] == "saps"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/9", "ranking": [0]}')
+        with pytest.raises(DataFormatError):
+            load_result(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DataFormatError):
+            load_result(path)
+
+    def test_malformed_ranking_rejected(self, tmp_path, result):
+        path = tmp_path / "dup.json"
+        save_result(result, path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["ranking"] = [0, 0, 1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(Exception):
+            load_result(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "missing.json"
+        path.write_text(
+            '{"schema": "repro.inference_result/1", "ranking": [0, 1]}'
+        )
+        with pytest.raises(DataFormatError):
+            load_result(path)

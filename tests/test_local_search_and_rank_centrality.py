@@ -1,0 +1,127 @@
+"""Unit tests for the local-search polish and the Rank Centrality baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import rank_centrality
+from repro.exceptions import InferenceError
+from repro.inference import polish_ranking
+from repro.inference.taps import branch_and_bound_search
+from repro.metrics import ranking_accuracy
+from repro.types import Ranking, Vote, VoteSet
+
+
+def sharp_matrix(n, forward=0.9):
+    matrix = np.full((n, n), 1.0 - forward)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = forward
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def random_closure(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = rng.uniform(0.05, 0.95)
+            matrix[i, j] = p
+            matrix[j, i] = 1 - p
+    return matrix
+
+
+class TestPolishRanking:
+    def test_fixes_adjacent_swap(self):
+        matrix = sharp_matrix(8)
+        scrambled = Ranking([1, 0, 2, 3, 4, 5, 7, 6])
+        polished, _ = polish_ranking(matrix, scrambled)
+        assert polished == Ranking(range(8))
+
+    def test_fixes_misplaced_vertex(self):
+        matrix = sharp_matrix(9)
+        scrambled = Ranking([0, 1, 2, 6, 3, 4, 5, 7, 8])
+        polished, _ = polish_ranking(matrix, scrambled)
+        assert polished == Ranking(range(9))
+
+    def test_never_worsens(self):
+        for seed in range(5):
+            matrix = random_closure(10, seed)
+            start = Ranking.random(10, rng=seed)
+            with np.errstate(divide="ignore"):
+                cost = -np.log(np.maximum(matrix, 1e-300))
+            start_log = -float(
+                cost[np.array(start.order[:-1]), np.array(start.order[1:])].sum()
+            )
+            _, polished_log = polish_ranking(matrix, start)
+            assert polished_log >= start_log - 1e-9
+
+    def test_optimum_is_fixed_point(self):
+        matrix = random_closure(8, seed=2)
+        best, best_log = branch_and_bound_search(matrix)
+        polished, polished_log = polish_ranking(matrix, best)
+        assert polished_log == pytest.approx(best_log)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(InferenceError):
+            polish_ranking(sharp_matrix(5), Ranking(range(4)))
+
+    def test_infinite_start_rejected(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 0.5
+        with pytest.raises(InferenceError):
+            polish_ranking(matrix, Ranking([2, 0, 1]))
+
+    def test_output_is_permutation(self):
+        matrix = random_closure(12, seed=7)
+        polished, _ = polish_ranking(matrix, Ranking.random(12, rng=7))
+        assert sorted(polished.order) == list(range(12))
+
+
+class TestRankCentrality:
+    def _votes(self, n, n_workers=3, error=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        votes = []
+        for worker in range(n_workers):
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < error:
+                        votes.append(Vote(worker=worker, winner=j, loser=i))
+                    else:
+                        votes.append(Vote(worker=worker, winner=i, loser=j))
+        return VoteSet.from_votes(n, votes)
+
+    def test_perfect_votes(self):
+        ranking, scores = rank_centrality(self._votes(8))
+        assert ranking == Ranking(range(8))
+        ordered = scores[list(ranking.order)]
+        assert all(a >= b - 1e-12 for a, b in zip(ordered, ordered[1:]))
+
+    def test_scores_are_distribution(self):
+        _, scores = rank_centrality(self._votes(6))
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_noise_tolerance(self):
+        votes = self._votes(12, n_workers=5, error=0.15, seed=3)
+        ranking, _ = rank_centrality(votes)
+        assert ranking_accuracy(ranking, Ranking(range(12))) > 0.85
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            rank_centrality(VoteSet.from_votes(3, []))
+
+    def test_runner_dispatch(self):
+        from repro.datasets import make_scenario
+        from repro.experiments import run_baseline_arm
+        from repro.experiments.runner import collect_votes
+
+        scenario = make_scenario(15, 0.6, n_workers=10, workers_per_task=4,
+                                 rng=9)
+        votes = collect_votes(scenario, rng=9)
+        record = run_baseline_arm(scenario, "rank_centrality", rng=9,
+                                  votes=votes)
+        assert record.algorithm == "rank_centrality"
+        assert record.accuracy > 0.7

@@ -1,0 +1,155 @@
+"""Unit tests for repro.metrics (Kendall, Spearman, accuracy, top-k)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics import (
+    kendall_tau_correlation,
+    kendall_tau_distance,
+    normalized_kendall_tau_distance,
+    normalized_spearman_footrule,
+    pairwise_agreement,
+    ranking_accuracy,
+    spearman_footrule,
+    spearman_rho,
+    topk_overlap,
+    topk_precision,
+)
+from repro.types import Ranking
+
+
+def brute_kendall(a, b):
+    count = 0
+    objects = list(a.order)
+    for i, j in itertools.combinations(objects, 2):
+        if a.prefers(i, j) != b.prefers(i, j):
+            count += 1
+    return count
+
+
+class TestKendall:
+    def test_identical_is_zero(self):
+        ranking = Ranking.random(10, rng=0)
+        assert kendall_tau_distance(ranking, ranking) == 0
+
+    def test_reverse_is_max(self):
+        ranking = Ranking.random(10, rng=0)
+        assert kendall_tau_distance(ranking, ranking.reversed()) == 45
+
+    def test_single_swap(self):
+        assert kendall_tau_distance(Ranking([0, 1, 2]), Ranking([1, 0, 2])) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        a = Ranking.random(12, rng=seed)
+        b = Ranking.random(12, rng=seed + 100)
+        assert kendall_tau_distance(a, b) == brute_kendall(a, b)
+
+    def test_symmetry(self):
+        a = Ranking.random(15, rng=1)
+        b = Ranking.random(15, rng=2)
+        assert kendall_tau_distance(a, b) == kendall_tau_distance(b, a)
+
+    def test_normalized_bounds(self):
+        a = Ranking.random(20, rng=3)
+        b = Ranking.random(20, rng=4)
+        assert 0.0 <= normalized_kendall_tau_distance(a, b) <= 1.0
+
+    def test_correlation_extremes(self):
+        ranking = Ranking.random(10, rng=5)
+        assert kendall_tau_correlation(ranking, ranking) == 1.0
+        assert kendall_tau_correlation(ranking, ranking.reversed()) == -1.0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau_distance(Ranking([0, 1]), Ranking([0, 1, 2]))
+
+    def test_mismatched_objects_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau_distance(Ranking([0, 1]), Ranking([1, 2]))
+
+    def test_trivial_sizes(self):
+        assert normalized_kendall_tau_distance(Ranking([0]), Ranking([0])) == 0.0
+
+
+class TestSpearman:
+    def test_identical(self):
+        ranking = Ranking.random(10, rng=0)
+        assert spearman_footrule(ranking, ranking) == 0
+        assert spearman_rho(ranking, ranking) == pytest.approx(1.0)
+
+    def test_reverse(self):
+        ranking = Ranking(range(4))
+        assert spearman_footrule(ranking, ranking.reversed()) == 8
+        assert spearman_rho(ranking, ranking.reversed()) == pytest.approx(-1.0)
+
+    def test_normalized_bounds(self):
+        a = Ranking.random(9, rng=1)
+        b = Ranking.random(9, rng=2)
+        assert 0.0 <= normalized_spearman_footrule(a, b) <= 1.0
+
+    def test_footrule_symmetric(self):
+        a = Ranking.random(11, rng=3)
+        b = Ranking.random(11, rng=4)
+        assert spearman_footrule(a, b) == spearman_footrule(b, a)
+
+    def test_diaconis_graham_bounds(self):
+        """Kendall <= footrule <= 2 * Kendall."""
+        for seed in range(5):
+            a = Ranking.random(10, rng=seed)
+            b = Ranking.random(10, rng=seed + 50)
+            kendall = kendall_tau_distance(a, b)
+            footrule = spearman_footrule(a, b)
+            assert kendall <= footrule <= 2 * kendall
+
+
+class TestAccuracy:
+    def test_paper_metric(self):
+        a = Ranking.random(10, rng=0)
+        assert ranking_accuracy(a, a) == 1.0
+        assert ranking_accuracy(a, a.reversed()) == 0.0
+
+    def test_complement_of_distance(self):
+        a = Ranking.random(10, rng=1)
+        b = Ranking.random(10, rng=2)
+        assert ranking_accuracy(a, b) == pytest.approx(
+            1.0 - normalized_kendall_tau_distance(a, b)
+        )
+
+    def test_pairwise_agreement(self):
+        ranking = Ranking([2, 0, 1])
+        prefs = [(2, 0), (2, 1), (1, 0)]
+        assert pairwise_agreement(ranking, prefs) == pytest.approx(2 / 3)
+
+    def test_pairwise_agreement_empty(self):
+        assert pairwise_agreement(Ranking([0, 1]), []) == 1.0
+
+
+class TestTopK:
+    def test_full_overlap(self):
+        a = Ranking([0, 1, 2, 3])
+        b = Ranking([1, 0, 2, 3])
+        assert topk_overlap(a, b, 2) == 1.0
+        assert topk_precision(a, b, 2) == 1.0
+
+    def test_disjoint(self):
+        a = Ranking([0, 1, 2, 3])
+        b = Ranking([2, 3, 0, 1])
+        assert topk_overlap(a, b, 2) == 0.0
+        assert topk_precision(a, b, 2) == 0.0
+
+    def test_partial(self):
+        a = Ranking([0, 1, 2, 3])
+        b = Ranking([0, 2, 1, 3])
+        assert topk_precision(a, b, 2) == 0.5
+        assert topk_overlap(a, b, 2) == pytest.approx(1 / 3)
+
+    def test_k_validation(self):
+        a = Ranking([0, 1])
+        with pytest.raises(ConfigurationError):
+            topk_overlap(a, a, 0)
+        with pytest.raises(ConfigurationError):
+            topk_precision(a, a, 3)

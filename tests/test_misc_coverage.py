@@ -1,0 +1,101 @@
+"""Tests for smaller branches not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CrowdBT, CrowdBTConfig, crowd_bt_rank
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import ExperimentRecord
+from repro.metrics import ranking_accuracy
+from repro.platform import InteractivePlatform
+from repro.types import Ranking
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+class TestCrowdBTSampledScan:
+    """The integer ``candidate_pairs`` branch (sampled active selection)."""
+
+    def test_sampled_selection_valid_pairs(self):
+        model = CrowdBT(8, 3, CrowdBTConfig(candidate_pairs=10), rng=0)
+        for _ in range(25):
+            i, j = model.select_pair()
+            assert i != j
+            assert 0 <= i < 8 and 0 <= j < 8
+
+    def test_sampled_end_to_end(self):
+        truth = Ranking.random(10, rng=21)
+        pool = WorkerPool.from_distribution(
+            6, gaussian_preset(QualityLevel.HIGH), rng=21
+        )
+        platform = InteractivePlatform(pool, truth, budget=5.0,
+                                       reward=0.025, rng=21)
+        ranking = crowd_bt_rank(
+            platform, n_workers=6,
+            config=CrowdBTConfig(candidate_pairs=25), rng=21,
+        )
+        assert ranking_accuracy(ranking, truth) > 0.8
+
+    def test_full_scan_argmax_matches_bruteforce(self):
+        """The vectorised full scan must pick the same pair as a naive
+        loop over all ordered pairs."""
+        model = CrowdBT(6, 2, rng=3)
+        model.mu[:] = np.array([2.0, 1.0, 0.5, 0.0, -1.0, -2.0])
+        model.var[:] = np.array([1.0, 0.5, 2.0, 0.1, 1.0, 0.3])
+        best_pair, best_gain = None, -1.0
+        for i in range(6):
+            for j in range(6):
+                if i == j:
+                    continue
+                gain = model._expected_gain(i, j)
+                if gain > best_gain:
+                    best_gain, best_pair = gain, (i, j)
+        assert model._full_scan_pair() == best_pair
+
+
+class TestFormatSeriesEdgeCases:
+    def test_no_group_by_single_series(self):
+        records = [
+            ExperimentRecord("saps", 10, r, 3, "g", a, 0.0)
+            for r, a in [(0.5, 0.9), (0.1, 0.8)]
+        ]
+        text = format_series(records, x="r", y="accuracy")
+        assert "series:" in text
+        # Points sorted by x regardless of input order.
+        assert text.index("0.1:0.8") < text.index("0.5:0.9")
+
+    def test_missing_y_renders_nan_or_none(self):
+        records = [ExperimentRecord("a", 5, 0.5, 2, "q", float("nan"), 0.0)]
+        text = format_series(records, x="r", y="accuracy")
+        assert "nan" in text
+
+
+class TestSAPSReportExposure:
+    def test_iterations_scaling_reported(self):
+        from repro.config import SAPSConfig
+        from repro.inference.saps import saps_search_report
+
+        n = 120
+        matrix = np.full((n, n), 0.4)
+        for i in range(n):
+            for j in range(i + 1, n):
+                matrix[i, j] = 0.6
+        np.fill_diagonal(matrix, 0.0)
+        config = SAPSConfig(iterations=1000, restarts=1,
+                            scale_with_objects=True)
+        report = saps_search_report(matrix, config, rng=0)
+        assert report.iterations_per_restart == 1200  # 1000 * 120/100
+
+    def test_scaling_disabled(self):
+        from repro.config import SAPSConfig
+        from repro.inference.saps import saps_search_report
+
+        n = 120
+        matrix = np.full((n, n), 0.4)
+        for i in range(n):
+            for j in range(i + 1, n):
+                matrix[i, j] = 0.6
+        np.fill_diagonal(matrix, 0.0)
+        config = SAPSConfig(iterations=1000, restarts=1,
+                            scale_with_objects=False)
+        report = saps_search_report(matrix, config, rng=0)
+        assert report.iterations_per_restart == 1000

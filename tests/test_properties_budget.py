@@ -1,0 +1,91 @@
+"""Property-based tests for the budget and assignment layers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assignment import (
+    assign_hits,
+    batch_into_hits,
+    generate_assignment,
+    verify_assignment,
+)
+from repro.budget import BudgetModel, plan_for_budget, plan_for_selection_ratio
+from repro.exceptions import BudgetError
+
+
+class TestBudgetModelProperties:
+    @given(st.floats(0.01, 1e6), st.integers(1, 50),
+           st.floats(0.001, 10.0))
+    def test_affordable_count_is_affordable(self, total, w, reward):
+        model = BudgetModel(total=total, workers_per_task=w, reward=reward)
+        count = model.affordable_comparisons()
+        assert model.can_afford(count)
+        # One more comparison must overdraw (up to float slack).
+        assert model.cost_of(count + 1) > total - 1e-6
+
+    @given(st.integers(0, 10_000), st.integers(1, 20),
+           st.floats(0.001, 1.0))
+    def test_required_budget_roundtrip(self, count, w, reward):
+        model = BudgetModel.required_budget(count, workers_per_task=w,
+                                            reward=reward)
+        assert model.affordable_comparisons() == count
+
+    @given(st.floats(0.01, 1e4), st.integers(1, 20), st.integers(2, 200))
+    def test_selection_ratio_bounds(self, total, w, n):
+        model = BudgetModel(total=total, workers_per_task=w)
+        assert 0.0 <= model.selection_ratio(n) <= 1.0
+
+
+class TestPlanProperties:
+    @given(st.integers(3, 60), st.floats(0.01, 1.0), st.integers(1, 10))
+    @settings(max_examples=60)
+    def test_plan_always_feasible(self, n, ratio, w):
+        plan = plan_for_selection_ratio(n, ratio, workers_per_task=w)
+        max_pairs = n * (n - 1) // 2
+        assert n - 1 <= plan.n_comparisons <= max_pairs
+        assert plan.budget.can_afford(plan.n_comparisons)
+        assert plan.total_votes == plan.n_comparisons * w
+
+    @given(st.integers(3, 40), st.floats(1.0, 500.0), st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_plan_for_budget_never_overdraws(self, n, total, w):
+        model = BudgetModel(total=total, workers_per_task=w)
+        try:
+            plan = plan_for_budget(n, model)
+        except BudgetError:
+            # The budget cannot even pay for a spanning plan.
+            assert model.affordable_comparisons() < n - 1
+            return
+        assert plan.spend <= total + 1e-9
+
+
+class TestAssignmentProperties:
+    @given(st.integers(4, 30), st.floats(0.1, 1.0), st.integers(1, 4),
+           st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_assignment_meets_requirements(self, n, ratio, c,
+                                                     seed):
+        plan = plan_for_selection_ratio(n, ratio, workers_per_task=3)
+        assignment = generate_assignment(plan, rng=seed,
+                                         comparisons_per_hit=c)
+        report = verify_assignment(assignment)
+        assert report.all_requirements_met
+        pairs = assignment.all_pairs()
+        assert len(pairs) == plan.n_comparisons
+        assert len(set(pairs)) == len(pairs)
+
+    @given(st.integers(4, 25), st.integers(2, 8), st.integers(1, 6),
+           st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_worker_assignment_invariants(self, n, m, w, seed):
+        if w > m:
+            return
+        plan = plan_for_selection_ratio(n, 0.5, workers_per_task=w)
+        assignment = generate_assignment(plan, rng=seed)
+        worker_assignment = assign_hits(assignment, n_workers=m,
+                                        workers_per_hit=w, rng=seed)
+        for workers in worker_assignment.hit_workers:
+            assert len(workers) == w
+            assert len(set(workers)) == w
+            assert all(0 <= worker < m for worker in workers)
+        assert worker_assignment.total_votes == plan.n_comparisons * w

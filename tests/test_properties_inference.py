@@ -1,0 +1,95 @@
+"""Property-based tests for the inference layer (both truth engines,
+smoothing and the adaptive propagation depth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SmoothingConfig
+from repro.graphs import PreferenceGraph
+from repro.inference.propagation import _adaptive_hops
+from repro.inference.smoothing import smooth_preferences
+from repro.truth import discover_truth, discover_truth_em
+from repro.types import Vote, VoteSet
+
+
+@st.composite
+def vote_sets(draw):
+    n = draw(st.integers(3, 6))
+    n_workers = draw(st.integers(2, 4))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    votes = []
+    for worker in range(n_workers):
+        for i, j in pairs:
+            if draw(st.booleans()):
+                votes.append(Vote(worker=worker, winner=i, loser=j))
+            else:
+                votes.append(Vote(worker=worker, winner=j, loser=i))
+    return VoteSet.from_votes(n, votes)
+
+
+class TestEmEngineProperties:
+    @given(vote_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_outputs_bounded(self, votes):
+        result = discover_truth_em(votes)
+        assert all(0.0 <= x <= 1.0 for x in result.preferences.values())
+        assert all(0.0 < q <= 1.0 for q in result.worker_quality.values())
+
+    @given(vote_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_covers_same_pairs_as_crh(self, votes):
+        em = discover_truth_em(votes)
+        crh = discover_truth(votes)
+        assert set(em.preferences) == set(crh.preferences)
+
+    @given(vote_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, votes):
+        assert discover_truth_em(votes).preferences == (
+            discover_truth_em(votes).preferences
+        )
+
+
+class TestSmoothingProperties:
+    @given(vote_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_smoothed_invariants_hold_for_any_votes(self, votes):
+        """For arbitrary vote sets, Step 1 + Step 2 always produce a
+        graph whose compared pairs carry both directions summing to 1,
+        with the majority direction preserved (>= 0.5)."""
+        truth = discover_truth(votes)
+        graph = PreferenceGraph.from_direct_preferences(
+            votes.n_objects, truth.preferences
+        )
+        result = smooth_preferences(graph, votes, truth.worker_quality,
+                                    SmoothingConfig())
+        result.graph.validate(smoothed=True)
+        for u, v in graph.one_edges():
+            assert result.graph.weight(u, v) >= 0.5
+
+
+class TestAdaptiveHops:
+    @given(st.integers(2, 2000), st.integers(1, 10**6))
+    def test_always_in_bounds(self, n, edges):
+        hops = _adaptive_hops(n, edges)
+        assert 2 <= hops <= 20
+        assert hops <= max(n - 1, 2)
+
+    def test_sparser_means_deeper(self):
+        # n=100: degree 4 vs degree 40.
+        sparse = _adaptive_hops(100, 400)
+        dense = _adaptive_hops(100, 4000)
+        assert sparse > dense
+
+    @pytest.mark.parametrize(
+        "n,directed_edges,expected",
+        [
+            (100, 990, 16),   # degree ~9.9 -> ceil(15.15) = 16
+            (100, 4000, 8),   # dense -> floor at 8
+            (1000, 99900, 16),
+            (3, 6, 2),        # tiny graph capped at n-1
+        ],
+    )
+    def test_known_values(self, n, directed_edges, expected):
+        assert _adaptive_hops(n, directed_edges) == expected

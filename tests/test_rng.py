@@ -1,0 +1,46 @@
+"""Unit tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).integers(1000) == ensure_rng(42).integers(1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(7, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(7, 2)
+        a = children[0].integers(0, 1000, size=10)
+        b = children[1].integers(0, 1000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(7, 0) == []
+
+
+class TestDeriveSeed:
+    def test_in_range(self):
+        seed = derive_seed(3)
+        assert 0 <= seed < 2**63
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(3, salt=1) != derive_seed(3, salt=2)

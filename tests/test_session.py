@@ -1,0 +1,78 @@
+"""Unit tests for repro.session (the rank_with_crowd facade)."""
+
+import pytest
+
+from repro import FAST_PIPELINE, rank_with_crowd
+from repro.exceptions import BudgetError
+from repro.types import Ranking
+from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return WorkerPool.from_distribution(
+        12, gaussian_preset(QualityLevel.HIGH), rng=41
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome(pool):
+    truth = Ranking.random(15, rng=41)
+    return rank_with_crowd(
+        truth, pool, selection_ratio=0.5, workers_per_task=4,
+        config=FAST_PIPELINE, rng=41,
+    )
+
+
+class TestRankWithCrowd:
+    def test_accuracy_high_for_good_workers(self, outcome):
+        assert outcome.accuracy > 0.9
+
+    def test_outcome_is_consistent(self, outcome):
+        assert outcome.ranking == outcome.result.ranking
+        assert len(outcome.ranking) == 15
+
+    def test_plan_matches_request(self, outcome):
+        assert outcome.plan.n_objects == 15
+        assert outcome.plan.selection_ratio == pytest.approx(0.5, abs=0.02)
+        assert outcome.plan.budget.workers_per_task == 4
+
+    def test_assignment_consistent_with_plan(self, outcome):
+        assert outcome.assignment.task_graph.n_edges == (
+            outcome.plan.n_comparisons
+        )
+
+    def test_run_collected_all_votes(self, outcome):
+        assert len(outcome.run.votes) == outcome.plan.total_votes
+
+    def test_ledger_spend_positive(self, outcome):
+        assert outcome.run.ledger.spent > 0.0
+
+    def test_reproducible_with_seed(self, pool):
+        truth = Ranking.random(10, rng=7)
+        pool_a = WorkerPool.from_distribution(
+            8, gaussian_preset(QualityLevel.HIGH), rng=7
+        )
+        pool_b = WorkerPool.from_distribution(
+            8, gaussian_preset(QualityLevel.HIGH), rng=7
+        )
+        a = rank_with_crowd(truth, pool_a, selection_ratio=0.5,
+                            workers_per_task=3, config=FAST_PIPELINE, rng=7)
+        b = rank_with_crowd(truth, pool_b, selection_ratio=0.5,
+                            workers_per_task=3, config=FAST_PIPELINE, rng=7)
+        assert a.ranking == b.ranking
+
+    def test_w_larger_than_pool_rejected(self, pool):
+        truth = Ranking.random(10, rng=1)
+        with pytest.raises(Exception):
+            rank_with_crowd(truth, pool, selection_ratio=0.5,
+                            workers_per_task=99)
+
+    def test_comparisons_per_hit(self, pool):
+        truth = Ranking.random(10, rng=2)
+        outcome = rank_with_crowd(
+            truth, pool, selection_ratio=0.5, workers_per_task=3,
+            comparisons_per_hit=3, config=FAST_PIPELINE, rng=2,
+        )
+        assert outcome.assignment.n_hits < outcome.plan.n_comparisons
+        assert len(outcome.run.votes) == outcome.plan.total_votes

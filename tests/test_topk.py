@@ -1,0 +1,86 @@
+"""Unit tests for repro.topk (the future-work top-k extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FAST_PIPELINE
+from repro.exceptions import ConfigurationError
+from repro.metrics import topk_precision
+from repro.topk import topk_exact, topk_ranking
+from repro.types import Ranking, Vote, VoteSet
+
+
+def sharp_matrix(n, forward=0.9):
+    matrix = np.full((n, n), 1.0 - forward)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = forward
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestTopkExact:
+    def test_sharp_instance(self):
+        ranking, _ = topk_exact(sharp_matrix(8), k=3)
+        assert ranking == Ranking([0, 1, 2])
+
+    def test_k_equals_one(self):
+        ranking, _ = topk_exact(sharp_matrix(6), k=1)
+        assert list(ranking) == [0]
+
+    def test_k_equals_n_matches_full_search(self):
+        from repro.inference.taps import branch_and_bound_search
+
+        rng = np.random.default_rng(3)
+        n = 6
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                p = rng.uniform(0.1, 0.9)
+                matrix[i, j] = p
+                matrix[j, i] = 1 - p
+        topk, _ = topk_exact(matrix, k=n)
+        full, _ = branch_and_bound_search(matrix)
+        # With k = n the tail term is empty, so both maximise the same
+        # objective.
+        assert topk == full
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            topk_exact(sharp_matrix(5), k=0)
+        with pytest.raises(ConfigurationError):
+            topk_exact(sharp_matrix(5), k=6)
+        with pytest.raises(ConfigurationError):
+            topk_exact(sharp_matrix(25), k=3)
+
+    def test_output_length(self):
+        for k in (1, 2, 4):
+            ranking, _ = topk_exact(sharp_matrix(7), k=k)
+            assert len(ranking) == k
+
+
+class TestTopkRanking:
+    @pytest.fixture(scope="class")
+    def clean_votes(self):
+        pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        votes = []
+        for worker in range(3):
+            for i, j in pairs:
+                votes.append(Vote(worker=worker, winner=i, loser=j))
+        return VoteSet.from_votes(8, votes)
+
+    def test_returns_head_of_full_ranking(self, clean_votes):
+        top3 = topk_ranking(clean_votes, 3, FAST_PIPELINE, rng=0)
+        assert list(top3) == [0, 1, 2]
+
+    def test_precision_against_truth(self, clean_votes):
+        top4 = topk_ranking(clean_votes, 4, FAST_PIPELINE, rng=0)
+        truth = Ranking(range(8))
+        padded = Ranking(list(top4) + [o for o in range(8) if o not in top4])
+        assert topk_precision(padded, truth, 4) == 1.0
+
+    def test_validation(self, clean_votes):
+        with pytest.raises(ConfigurationError):
+            topk_ranking(clean_votes, 0)
+        with pytest.raises(ConfigurationError):
+            topk_ranking(clean_votes, 9)

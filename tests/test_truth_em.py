@@ -1,0 +1,104 @@
+"""Unit tests for repro.truth.dawid_skene (EM truth discovery)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig, TruthDiscoveryConfig
+from repro.exceptions import ConvergenceError, InferenceError
+from repro.inference import infer_ranking
+from repro.metrics import ranking_accuracy
+from repro.truth import discover_truth, discover_truth_em
+from repro.types import Ranking, Vote, VoteSet
+from repro.workers import AdversarialWorker, SimulatedWorker, WorkerPool
+from repro.rng import spawn_rngs
+
+
+class TestDiscoverTruthEm:
+    def test_outputs_bounded(self, medium_votes):
+        result = discover_truth_em(medium_votes)
+        assert all(0.0 <= x <= 1.0 for x in result.preferences.values())
+        assert all(0.0 < q <= 1.0 for q in result.worker_quality.values())
+
+    def test_same_interface_as_crh(self, medium_votes):
+        crh = discover_truth(medium_votes)
+        em = discover_truth_em(medium_votes)
+        assert set(em.preferences) == set(crh.preferences)
+        assert set(em.worker_quality) == set(crh.worker_quality)
+
+    def test_agrees_with_crh_on_clean_votes(self, tiny_votes):
+        crh = discover_truth(tiny_votes)
+        em = discover_truth_em(tiny_votes)
+        for pair in crh.preferences:
+            assert (em.preferences[pair] > 0.5) == (
+                crh.preferences[pair] > 0.5
+            ) or crh.preferences[pair] == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            discover_truth_em(VoteSet.from_votes(3, []))
+
+    def test_strict_convergence(self, medium_votes):
+        with pytest.raises(ConvergenceError):
+            discover_truth_em(
+                medium_votes,
+                TruthDiscoveryConfig(max_iterations=1, tolerance=1e-12,
+                                     strict=True),
+            )
+
+    def test_exploits_perfect_inverters(self):
+        """The EM engine's distinguishing feature: perfectly inverting
+        workers get accuracy ~ 0, so their votes are *flipped into*
+        evidence and every pair becomes effectively unanimous — the
+        posterior pins to the truth despite a 3-vs-2 split.
+
+        (Note the global label-switching symmetry of Dawid-Skene: the
+        honest camp must hold the majority, otherwise EM locks the
+        mirrored labelling.)"""
+        pairs = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        votes = []
+        for i, j in pairs:
+            for worker in (0, 1, 2):                           # honest
+                votes.append(Vote(worker=worker, winner=i, loser=j))
+            for worker in (3, 4):                              # inverters
+                votes.append(Vote(worker=worker, winner=j, loser=i))
+        result = discover_truth_em(VoteSet.from_votes(6, votes))
+        for pair in pairs:
+            assert result.preferences[pair] > 0.99
+        honest_q = np.mean([result.worker_quality[k] for k in (0, 1, 2)])
+        inverter_q = np.mean([result.worker_quality[k] for k in (3, 4)])
+        assert honest_q > inverter_q
+
+    def test_adversary_quality_reported_low(self):
+        streams = spawn_rngs(11, 6)
+        workers = [
+            SimulatedWorker(worker_id=k, sigma=0.02, rng=streams[k])
+            for k in range(4)
+        ] + [
+            AdversarialWorker(worker_id=k, rng=streams[k])
+            for k in range(4, 6)
+        ]
+        pool = WorkerPool(workers)
+        truth = Ranking.random(10, rng=11)
+        votes = []
+        for i in range(10):
+            for j in range(i + 1, 10):
+                for worker in pool:
+                    votes.append(worker.vote(i, j, truth))
+        result = discover_truth_em(VoteSet.from_votes(10, votes))
+        honest_q = np.mean([result.worker_quality[k] for k in range(4)])
+        adversary_q = np.mean([result.worker_quality[k] for k in (4, 5)])
+        assert honest_q > adversary_q
+
+
+class TestEmPipelineIntegration:
+    def test_pipeline_runs_with_em_engine(self, medium_scenario,
+                                          medium_votes, fast_config):
+        config = fast_config.with_(truth_engine="em")
+        result = infer_ranking(medium_votes, config, rng=3)
+        accuracy = ranking_accuracy(result.ranking,
+                                    medium_scenario.ground_truth)
+        assert accuracy > 0.85
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(Exception):
+            PipelineConfig(truth_engine="magic")

@@ -1,0 +1,89 @@
+"""Unit tests for repro.workers.behaviors (structured misbehaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.types import Ranking
+from repro.workers import (
+    AdversarialWorker,
+    LazyWorker,
+    SleepyWorker,
+    SpammerWorker,
+    WorkerPool,
+)
+
+
+@pytest.fixture
+def truth():
+    return Ranking([0, 1, 2, 3, 4])
+
+
+def fresh(worker_cls, **kwargs):
+    return worker_cls(worker_id=0, rng=np.random.default_rng(5), **kwargs)
+
+
+class TestSpammer:
+    def test_votes_are_coin_flips(self, truth):
+        worker = fresh(SpammerWorker)
+        winners = [worker.vote(0, 4, truth).winner for _ in range(400)]
+        share = winners.count(0) / len(winners)
+        assert 0.4 < share < 0.6
+
+    def test_carries_worker_id(self, truth):
+        worker = SpammerWorker(worker_id=9, rng=np.random.default_rng(1))
+        assert worker.vote(0, 1, truth).worker == 9
+
+
+class TestAdversarial:
+    def test_mostly_inverts(self, truth):
+        worker = fresh(AdversarialWorker, flip_rate=0.95)
+        winners = [worker.vote(0, 4, truth).winner for _ in range(400)]
+        assert winners.count(4) / len(winners) > 0.85
+
+    def test_perfect_inverter(self, truth):
+        worker = fresh(AdversarialWorker, flip_rate=1.0)
+        assert all(
+            worker.vote(0, 4, truth).winner == 4 for _ in range(50)
+        )
+
+    def test_flip_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            fresh(AdversarialWorker, flip_rate=0.3)
+
+
+class TestLazy:
+    def test_always_picks_first_presented(self, truth):
+        worker = fresh(LazyWorker)
+        assert worker.vote(3, 1, truth).winner == 3
+        assert worker.vote(1, 3, truth).winner == 1
+
+
+class TestSleepy:
+    def test_zero_lapse_is_honest(self, truth):
+        worker = fresh(SleepyWorker, sigma=0.0, lapse=0.0)
+        assert all(worker.vote(0, 4, truth).winner == 0 for _ in range(50))
+
+    def test_high_lapse_adds_errors(self, truth):
+        worker = fresh(SleepyWorker, sigma=0.0, lapse=0.9)
+        winners = [worker.vote(0, 4, truth).winner for _ in range(400)]
+        share_wrong = winners.count(4) / len(winners)
+        assert 0.3 < share_wrong < 0.6  # ~ lapse/2
+
+    def test_lapse_validated(self):
+        with pytest.raises(ConfigurationError):
+            fresh(SleepyWorker, lapse=1.0)
+
+
+class TestPoolIntegration:
+    def test_mixed_behavioural_pool(self, truth):
+        rng = np.random.default_rng(2)
+        workers = [
+            SleepyWorker(worker_id=0, sigma=0.05, lapse=0.1, rng=rng),
+            SpammerWorker(worker_id=1, rng=rng),
+            AdversarialWorker(worker_id=2, rng=rng),
+            LazyWorker(worker_id=3, rng=rng),
+        ]
+        pool = WorkerPool(workers)
+        votes = [pool[k].vote(0, 1, truth) for k in range(4)]
+        assert [v.worker for v in votes] == [0, 1, 2, 3]

@@ -1,0 +1,159 @@
+"""Unit tests for repro.workers (quality, worker, pool)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.types import Ranking
+from repro.workers import (
+    GaussianQuality,
+    QualityLevel,
+    SimulatedWorker,
+    UniformQuality,
+    WorkerPool,
+    gaussian_preset,
+    uniform_preset,
+)
+from repro.workers.quality import error_probability
+
+
+class TestQualityDistributions:
+    def test_gaussian_sigmas_non_negative(self):
+        sigmas = GaussianQuality(0.1).sample_sigmas(100, rng=0)
+        assert np.all(sigmas >= 0)
+
+    def test_gaussian_scale(self):
+        tight = GaussianQuality(0.01).sample_sigmas(500, rng=0).mean()
+        loose = GaussianQuality(1.0).sample_sigmas(500, rng=0).mean()
+        assert loose > tight * 10
+
+    def test_uniform_range(self):
+        sigmas = UniformQuality(0.1, 0.3).sample_sigmas(200, rng=1)
+        assert np.all((sigmas >= 0.1) & (sigmas <= 0.3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianQuality(0.0)
+        with pytest.raises(ConfigurationError):
+            UniformQuality(0.3, 0.1)
+        with pytest.raises(ConfigurationError):
+            GaussianQuality(0.1).sample_sigmas(0)
+
+    def test_paper_presets(self):
+        assert gaussian_preset(QualityLevel.HIGH).sigma_s == 0.01
+        assert gaussian_preset(QualityLevel.MEDIUM).sigma_s == 0.1
+        assert gaussian_preset(QualityLevel.LOW).sigma_s == 1.0
+        assert uniform_preset(QualityLevel.HIGH) == UniformQuality(0.0, 0.2)
+        assert uniform_preset(QualityLevel.MEDIUM) == UniformQuality(0.1, 0.3)
+        assert uniform_preset(QualityLevel.LOW) == UniformQuality(0.2, 0.4)
+
+    def test_describe(self):
+        assert "Gaussian" in GaussianQuality(0.1).describe()
+        assert "Uniform" in UniformQuality(0, 0.2).describe()
+
+    def test_error_probability_bounds(self):
+        for _ in range(10):
+            assert 0.0 <= error_probability(0.5, rng=3) <= 1.0
+
+    def test_error_probability_zero_sigma(self):
+        assert error_probability(0.0) == 0.0
+
+    def test_error_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            error_probability(-0.1)
+
+
+class TestSimulatedWorker:
+    def test_perfect_worker_never_errs(self):
+        truth = Ranking([0, 1, 2])
+        worker = SimulatedWorker(worker_id=0, sigma=0.0,
+                                 rng=np.random.default_rng(0))
+        for _ in range(50):
+            vote = worker.vote(0, 2, truth)
+            assert vote.winner == 0
+
+    def test_noisy_worker_sometimes_errs(self):
+        truth = Ranking([0, 1, 2])
+        worker = SimulatedWorker(worker_id=0, sigma=2.0,
+                                 rng=np.random.default_rng(0))
+        outcomes = {worker.vote(0, 2, truth).winner for _ in range(200)}
+        assert outcomes == {0, 2}
+
+    def test_expected_error_probability(self):
+        worker = SimulatedWorker(worker_id=0, sigma=0.1,
+                                 rng=np.random.default_rng(0))
+        assert worker.expected_error_probability() == pytest.approx(
+            0.1 * np.sqrt(2 / np.pi)
+        )
+
+    def test_expected_error_clipped(self):
+        worker = SimulatedWorker(worker_id=0, sigma=50.0,
+                                 rng=np.random.default_rng(0))
+        assert worker.expected_error_probability() == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedWorker(worker_id=0, sigma=-0.1)
+
+    def test_vote_carries_worker_id(self):
+        truth = Ranking([0, 1])
+        worker = SimulatedWorker(worker_id=7, sigma=0.0,
+                                 rng=np.random.default_rng(0))
+        assert worker.vote(0, 1, truth).worker == 7
+
+
+class TestWorkerPool:
+    def test_from_distribution_size(self):
+        pool = WorkerPool.from_distribution(8, GaussianQuality(0.1), rng=0)
+        assert len(pool) == 8
+
+    def test_ids_are_sequential(self):
+        pool = WorkerPool.from_distribution(5, GaussianQuality(0.1), rng=0)
+        assert [w.worker_id for w in pool] == list(range(5))
+
+    def test_indexing(self):
+        pool = WorkerPool.from_distribution(5, GaussianQuality(0.1), rng=0)
+        assert pool[3].worker_id == 3
+        with pytest.raises(ConfigurationError):
+            pool[9]
+
+    def test_sigmas_shape(self):
+        pool = WorkerPool.from_distribution(5, UniformQuality(0.1, 0.3), rng=0)
+        assert pool.sigmas().shape == (5,)
+
+    def test_expected_accuracies_in_unit_interval(self):
+        pool = WorkerPool.from_distribution(20, GaussianQuality(1.0), rng=0)
+        accuracies = pool.expected_accuracies()
+        assert np.all((accuracies >= 0) & (accuracies <= 1))
+
+    def test_sample_distinct(self):
+        pool = WorkerPool.from_distribution(10, GaussianQuality(0.1), rng=0)
+        chosen = pool.sample(5, rng=1)
+        ids = [w.worker_id for w in chosen]
+        assert len(set(ids)) == 5
+
+    def test_sample_too_many_rejected(self):
+        pool = WorkerPool.from_distribution(3, GaussianQuality(0.1), rng=0)
+        with pytest.raises(ConfigurationError):
+            pool.sample(4)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool([])
+
+    def test_non_contiguous_ids_rejected(self):
+        workers = [
+            SimulatedWorker(worker_id=0, sigma=0.1, rng=np.random.default_rng(0)),
+            SimulatedWorker(worker_id=2, sigma=0.1, rng=np.random.default_rng(1)),
+        ]
+        with pytest.raises(ConfigurationError):
+            WorkerPool(workers)
+
+    def test_independent_vote_streams(self):
+        """Two workers with identical sigma should not produce identical
+        vote sequences (independent rng streams)."""
+        pool = WorkerPool.from_distribution(2, UniformQuality(0.9, 0.901), rng=0)
+        truth = Ranking.identity(2)
+        seq0 = [pool[0].vote(0, 1, truth).winner for _ in range(50)]
+        seq1 = [pool[1].vote(0, 1, truth).winner for _ in range(50)]
+        assert seq0 != seq1
