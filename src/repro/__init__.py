@@ -37,6 +37,19 @@ from .budget import BudgetModel, BudgetPlan, plan_for_budget, plan_for_selection
 from .assignment import assign_hits, generate_assignment, verify_assignment
 from .inference import RankingPipeline, infer_ranking
 from .session import CrowdRankingOutcome, rank_with_crowd
+from .diagnostics import configure_logging, get_logger
+from .service import (
+    BatchExecutor,
+    BatchReport,
+    JobResult,
+    JobStatus,
+    MetricsRegistry,
+    RankingJob,
+    ResultCache,
+    RetryPolicy,
+    ScenarioSpec,
+    run_batch,
+)
 
 __all__ = [
     "__version__",
@@ -63,4 +76,16 @@ __all__ = [
     "infer_ranking",
     "CrowdRankingOutcome",
     "rank_with_crowd",
+    "configure_logging",
+    "get_logger",
+    "BatchExecutor",
+    "BatchReport",
+    "JobResult",
+    "JobStatus",
+    "MetricsRegistry",
+    "RankingJob",
+    "ResultCache",
+    "RetryPolicy",
+    "ScenarioSpec",
+    "run_batch",
 ]

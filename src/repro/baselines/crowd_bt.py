@@ -88,9 +88,10 @@ class CrowdBT:
         self,
         n_objects: int,
         n_workers: int,
-        config: CrowdBTConfig = CrowdBTConfig(),
+        config: Optional[CrowdBTConfig] = None,
         rng: SeedLike = None,
     ):
+        config = config if config is not None else CrowdBTConfig()
         if n_objects < 2:
             raise ConfigurationError("need at least 2 objects")
         if n_workers < 1:
@@ -212,7 +213,7 @@ class CrowdBT:
 def crowd_bt_rank(
     platform: InteractivePlatform,
     n_workers: int,
-    config: CrowdBTConfig = CrowdBTConfig(),
+    config: Optional[CrowdBTConfig] = None,
     rng: SeedLike = None,
 ) -> Ranking:
     """Run the full interactive CrowdBT loop until the budget is spent.

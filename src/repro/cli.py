@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's main entry points:
+The commands cover the library's main entry points:
 
 ``rank``
     Infer a full ranking from an AMT-style votes CSV
@@ -13,12 +13,24 @@ Three commands cover the library's main entry points:
 ``simulate``
     Run one fully simulated end-to-end experiment (the paper's Sec. VI
     setting) and print accuracy plus per-step timing.
+
+``batch``
+    Run many ranking jobs (JSONL in) concurrently through
+    :mod:`repro.service` — result cache, retries, timeouts — and emit
+    one JSONL result line per job plus a metrics summary.
+
+``reproduce``
+    Regenerate a paper artifact's data series.
+
+Results go to stdout; diagnostics (enabled with ``--verbose``) go to
+stderr via the ``repro`` loggers, so piped output stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -27,6 +39,7 @@ from .assignment import generate_assignment, verify_assignment
 from .budget import BudgetModel, plan_for_budget, plan_for_selection_ratio
 from .config import PipelineConfig, PropagationConfig
 from .datasets import load_votes_csv, make_scenario
+from .diagnostics import configure_logging
 from .exceptions import ReproError
 from .experiments import run_pipeline_arm
 from .inference import infer_ranking
@@ -40,10 +53,21 @@ def _build_parser() -> argparse.ArgumentParser:
                     "ranking (ICDCS 2017 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="emit repro.* diagnostics on stderr "
+                             "(-v info, -vv debug)")
+    # Accept -v after the subcommand too (`repro batch jobs.jsonl -v`).
+    # SUPPRESS keeps the subparser from resetting the count the root
+    # parser already accumulated.
+    verbose_parent = argparse.ArgumentParser(add_help=False)
+    verbose_parent.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS)
     commands = parser.add_subparsers(dest="command", required=True)
 
     rank = commands.add_parser(
-        "rank", help="infer a full ranking from a votes CSV"
+        "rank", parents=[verbose_parent],
+        help="infer a full ranking from a votes CSV"
     )
     rank.add_argument("votes_csv", help="CSV with worker_id,winner,loser rows")
     rank.add_argument("--n-objects", type=int, default=None,
@@ -63,7 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="emit machine-readable JSON")
 
     plan = commands.add_parser(
-        "plan", help="resolve a budget into a comparison plan and audit it"
+        "plan", parents=[verbose_parent],
+        help="resolve a budget into a comparison plan and audit it"
     )
     plan.add_argument("n_objects", type=int)
     group = plan.add_mutually_exclusive_group(required=True)
@@ -78,7 +103,8 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--json", action="store_true")
 
     simulate = commands.add_parser(
-        "simulate", help="run one simulated end-to-end experiment"
+        "simulate", parents=[verbose_parent],
+        help="run one simulated end-to-end experiment"
     )
     simulate.add_argument("n_objects", type=int)
     simulate.add_argument("--ratio", type=float, default=0.1)
@@ -92,8 +118,32 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--json", action="store_true")
 
+    batch = commands.add_parser(
+        "batch", parents=[verbose_parent],
+        help="run a JSONL file of ranking jobs through the batch service",
+    )
+    batch.add_argument("jobs_jsonl",
+                       help="JSONL job file (repro.job/1 lines); '-' reads "
+                            "stdin")
+    batch.add_argument("--workers", type=int, default=4,
+                       help="concurrent worker threads (default 4)")
+    batch.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-job attempt timeout (default: unbounded)")
+    batch.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per job incl. the first (default 3)")
+    batch.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist cached results as JSON files here")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    batch.add_argument("--out", metavar="PATH", default=None,
+                       help="write the result JSONL here instead of stdout")
+    batch.add_argument("--json", action="store_true",
+                       help="append the metrics snapshot as a final "
+                            "repro.batch_metrics/1 JSONL line instead of a "
+                            "human summary on stderr")
+
     reproduce = commands.add_parser(
-        "reproduce",
+        "reproduce", parents=[verbose_parent],
         help="regenerate a paper artifact's data series (CSV or table)",
     )
     reproduce.add_argument(
@@ -199,6 +249,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import (
+        BATCH_METRICS_SCHEMA,
+        BatchExecutor,
+        MetricsRegistry,
+        ResultCache,
+        RetryPolicy,
+        dump_results_jsonl,
+        iter_jobs_jsonl,
+        load_jobs_jsonl,
+    )
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs_jsonl == "-":
+        jobs = list(iter_jobs_jsonl(sys.stdin, source="<stdin>"))
+    else:
+        jobs = load_jobs_jsonl(args.jobs_jsonl)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(persist_dir=args.cache_dir)
+    executor = BatchExecutor(
+        args.workers,
+        cache=cache,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        timeout=args.timeout,
+        metrics=MetricsRegistry(),
+    )
+    report = executor.run(jobs)
+    text = dump_results_jsonl(report.results)
+    if args.json:
+        text += json.dumps(
+            {"schema": BATCH_METRICS_SCHEMA, **report.metrics},
+            sort_keys=True,
+        ) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    if not args.json:
+        counters = report.metrics.get("counters", {})
+        derived = report.metrics.get("derived", {})
+        hit_rate = derived.get("cache_hit_rate")
+        print(
+            f"batch: {len(report.results)} jobs — "
+            f"{len(report.succeeded)} succeeded, "
+            f"{len(report.failed)} failed, "
+            f"{len(report.timed_out)} timed out; "
+            f"retries {counters.get('retry.attempts', 0):g}; "
+            "cache hit-rate "
+            + (f"{hit_rate:.0%}" if hit_rate is not None else "n/a"),
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments import (
         export_records_csv,
@@ -259,10 +367,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging(
+            logging.DEBUG if args.verbose > 1 else logging.INFO
+        )
     handlers = {
         "rank": _cmd_rank,
         "plan": _cmd_plan,
         "simulate": _cmd_simulate,
+        "batch": _cmd_batch,
         "reproduce": _cmd_reproduce,
     }
     try:

@@ -1,0 +1,82 @@
+"""Namespaced :mod:`logging` diagnostics for the whole library.
+
+Library modules never print: anything a consumer may want to observe
+(pipeline step timings, cache hits, retry scheduling, batch progress)
+is emitted through loggers under the ``repro`` namespace obtained from
+:func:`get_logger`.  The root ``repro`` logger carries a
+:class:`logging.NullHandler`, so embedding applications stay silent
+unless they opt in — either through their own ``logging`` configuration
+or via the :func:`configure_logging` convenience used by the CLI's
+``--verbose`` flag.  CLI *results* stay on stdout; diagnostics go to
+stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: The namespace root every library logger lives under.
+ROOT_LOGGER_NAME = "repro"
+
+#: Format used by :func:`configure_logging` (stderr diagnostics).
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Library default: silent unless the application configures handlers.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix below the root — ``get_logger("service.cache")``
+        yields the ``repro.service.cache`` logger.  An empty name (or a
+        name already prefixed with ``repro``) returns the corresponding
+        logger unchanged, so call sites may pass ``__name__`` directly.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Intended for CLI / script use (``repro --verbose ...``); library code
+    must never call this.  Calling it again replaces the handler it
+    previously installed (idempotent), leaving any handlers the host
+    application attached untouched.
+
+    Parameters
+    ----------
+    level:
+        Threshold applied to both the root logger and the handler.
+    stream:
+        Destination stream; defaults to ``sys.stderr`` so machine-read
+        stdout output stays clean.
+
+    Returns
+    -------
+    logging.Handler
+        The installed handler (useful for tests and teardown).
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.setLevel(level)
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

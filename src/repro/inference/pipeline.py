@@ -15,6 +15,7 @@ import time
 from typing import Optional
 
 from ..config import PipelineConfig
+from ..diagnostics import get_logger
 from ..exceptions import InferenceError
 from ..graphs.preference_graph import PreferenceGraph
 from ..rng import SeedLike, ensure_rng
@@ -26,12 +27,16 @@ from .saps import saps_search_report
 from .smoothing import smooth_preferences
 from .taps import branch_and_bound_search, taps_search
 
+_log = get_logger("inference.pipeline")
+
 
 class RankingPipeline:
     """Configured Steps 1-4; reusable across vote sets."""
 
-    def __init__(self, config: PipelineConfig = PipelineConfig()):
-        self._config = config
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        # A dataclass default here would be evaluated once at import
+        # time and silently shared by every pipeline; resolve per call.
+        self._config = config if config is not None else PipelineConfig()
 
     @property
     def config(self) -> PipelineConfig:
@@ -97,6 +102,11 @@ class RankingPipeline:
             }
         step_seconds["search"] = time.perf_counter() - start
 
+        _log.debug(
+            "pipeline done: n=%d votes=%d search=%s timings=%s",
+            votes.n_objects, len(votes), config.search,
+            {k: round(v, 4) for k, v in step_seconds.items()},
+        )
         metadata = {
             "truth_iterations": truth.iterations,
             "truth_converged": truth.trace.converged,

@@ -15,6 +15,8 @@ carries a strictly positive weight), which is what makes Theorem 5.1's
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..config import PropagationConfig
@@ -25,7 +27,7 @@ from ..graphs.preference_graph import PreferenceGraph
 
 def propagate_matrix(
     smoothed: PreferenceGraph,
-    config: PropagationConfig = PropagationConfig(),
+    config: Optional[PropagationConfig] = None,
 ) -> np.ndarray:
     """Step 3 as a dense matrix: the normalised complete closure weights.
 
@@ -39,6 +41,7 @@ def propagate_matrix(
         ``(n, n)`` matrix with zero diagonal, ``W + W.T = 1`` off the
         diagonal, entries clipped inside ``(0, 1)``.
     """
+    config = config if config is not None else PropagationConfig()
     n = smoothed.n_vertices
     if n < 2:
         raise InferenceError("propagation needs at least 2 objects")
@@ -62,7 +65,7 @@ def propagate_matrix(
 
 def propagate_preferences(
     smoothed: PreferenceGraph,
-    config: PropagationConfig = PropagationConfig(),
+    config: Optional[PropagationConfig] = None,
 ) -> PreferenceGraph:
     """Compute the complete, normalised closure ``G_P^*`` of Step 3.
 

@@ -45,7 +45,7 @@ class SAPSReport:
 
 def saps_search(
     weights: Union[np.ndarray, WeightedDigraph],
-    config: SAPSConfig = SAPSConfig(),
+    config: Optional[SAPSConfig] = None,
     rng: SeedLike = None,
 ) -> Tuple[Ranking, float]:
     """Find a high-preference HP; returns ``(ranking, log_probability)``.
@@ -61,10 +61,11 @@ def saps_search(
 
 def saps_search_report(
     weights: Union[np.ndarray, WeightedDigraph],
-    config: SAPSConfig = SAPSConfig(),
+    config: Optional[SAPSConfig] = None,
     rng: SeedLike = None,
 ) -> SAPSReport:
     """As :func:`saps_search`, returning full diagnostics."""
+    config = config if config is not None else SAPSConfig()
     matrix = _as_matrix(weights)
     n = matrix.shape[0]
     if n == 1:

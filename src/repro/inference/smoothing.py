@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -79,7 +79,7 @@ def smooth_preferences(
     graph: PreferenceGraph,
     votes: VoteSet,
     worker_quality: Mapping[WorkerId, float],
-    config: SmoothingConfig = SmoothingConfig(),
+    config: Optional[SmoothingConfig] = None,
     rng: SeedLike = None,
 ) -> SmoothingResult:
     """Smooth every 1-edge of ``graph`` using the answering workers' quality.
@@ -105,6 +105,7 @@ def smooth_preferences(
         If a 1-edge has no recorded votes (inconsistent inputs) or a
         quality is missing for an answering worker.
     """
+    config = config if config is not None else SmoothingConfig()
     generator = ensure_rng(rng)
     votes_by_pair = votes.by_pair()
     smoothed = graph.copy()

@@ -42,7 +42,7 @@ def _as_matrix(weights: Union[np.ndarray, WeightedDigraph]) -> np.ndarray:
 
 def taps_search(
     weights: Union[np.ndarray, WeightedDigraph],
-    config: TAPSConfig = TAPSConfig(),
+    config: Optional[TAPSConfig] = None,
 ) -> Tuple[List[Ranking], float]:
     """Threshold-based path search: all top-1 HPs and their probability.
 
@@ -59,6 +59,7 @@ def taps_search(
         If ``n`` exceeds ``config.max_objects`` or no HP has positive
         probability (incomplete graph with no viable path).
     """
+    config = config if config is not None else TAPSConfig()
     matrix = _as_matrix(weights)
     n = matrix.shape[0]
     if n > config.max_objects:

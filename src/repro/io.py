@@ -15,24 +15,29 @@ library upgrades:
       "step_seconds": {"search": 0.5},
       "metadata": {"search_algorithm": "saps"}
     }
+
+The payload codecs (:func:`result_to_payload` / :func:`result_from_payload`)
+are exposed separately from the file helpers so that other transports —
+the batch service's JSONL streams and its on-disk result cache — reuse
+the exact same versioned schema.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
-from .exceptions import DataFormatError
+from .exceptions import ConfigurationError, DataFormatError
 from .types import InferenceResult, Ranking
 
 #: Current schema tag written to / required from files.
 SCHEMA = "repro.inference_result/1"
 
 
-def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
-    """Write an inference result as versioned JSON."""
-    payload = {
+def result_to_payload(result: InferenceResult) -> Dict[str, object]:
+    """Encode an inference result as a JSON-ready dict (schema-tagged)."""
+    return {
         "schema": SCHEMA,
         "ranking": list(result.ranking.order),
         "log_preference": result.log_preference,
@@ -50,26 +55,30 @@ def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
             if isinstance(value, (int, float, str, bool, type(None)))
         },
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
-def load_result(path: Union[str, Path]) -> InferenceResult:
-    """Read an inference result saved by :func:`save_result`.
+def result_from_payload(
+    payload: object, source: str = "<payload>"
+) -> InferenceResult:
+    """Decode a dict produced by :func:`result_to_payload`.
+
+    Parameters
+    ----------
+    payload:
+        The parsed JSON value (any type — validated here).
+    source:
+        Human-readable origin (file path, "line 3", ...) used in error
+        messages.
 
     Raises
     ------
     DataFormatError
-        On malformed JSON, a wrong/missing schema tag, or invalid
-        fields (non-permutation ranking, malformed pair keys).
+        On a wrong/missing schema tag or invalid fields (non-permutation
+        ranking, malformed pair keys).
     """
-    path = Path(path)
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as error:
-        raise DataFormatError(f"{path}: invalid JSON ({error})") from None
     if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
         raise DataFormatError(
-            f"{path}: expected schema {SCHEMA!r}, got "
+            f"{source}: expected schema {SCHEMA!r}, got "
             f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r}"
         )
     try:
@@ -93,5 +102,33 @@ def load_result(path: Union[str, Path]) -> InferenceResult:
             },
             metadata=dict(payload.get("metadata", {})),
         )
-    except (KeyError, ValueError, TypeError) as error:
-        raise DataFormatError(f"{path}: malformed field ({error})") from None
+    except (KeyError, ValueError, TypeError, ConfigurationError) as error:
+        raise DataFormatError(f"{source}: malformed field ({error})") from None
+
+
+def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
+    """Write an inference result as versioned JSON."""
+    payload = result_to_payload(result)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_result(path: Union[str, Path]) -> InferenceResult:
+    """Read an inference result saved by :func:`save_result`.
+
+    Raises
+    ------
+    DataFormatError
+        On a missing/unreadable file, malformed JSON, a wrong/missing
+        schema tag, or invalid fields (non-permutation ranking,
+        malformed pair keys).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise DataFormatError(f"{path}: cannot read ({error})") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataFormatError(f"{path}: invalid JSON ({error})") from None
+    return result_from_payload(payload, source=str(path))

@@ -1,0 +1,198 @@
+"""Content-addressed result cache for the batch ranking service.
+
+Two identical jobs — same canonicalised votes (or scenario), same
+pipeline configuration, same seed — must produce the same ranking, so
+the second one never needs to run.  :func:`fingerprint_job` derives a
+stable SHA-256 key from the job's semantic content (vote *order* is
+irrelevant; dict key order is irrelevant), and :class:`ResultCache`
+maps keys to :class:`~repro.types.InferenceResult` values through a
+thread-safe in-memory LRU, optionally spilling every entry to a
+directory of :mod:`repro.io`-schema JSON files so caches survive
+process restarts.
+
+A job without a seed is *not* deterministic (fresh entropy per run) and
+therefore gets a unique, uncacheable fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..diagnostics import get_logger
+from ..exceptions import ConfigurationError, DataFormatError
+from ..io import load_result, save_result
+from ..types import InferenceResult
+from .jobs import RankingJob, config_to_payload
+
+_log = get_logger("service.cache")
+
+#: Monotonic source for the fingerprints of uncacheable (seedless) jobs.
+_unique_counter = itertools.count()
+
+
+def fingerprint_job(job: RankingJob) -> str:
+    """Return the content hash (hex SHA-256) identifying a job's work.
+
+    The hash covers the canonicalised votes (sorted, so collection order
+    does not matter) or the scenario spec, the full pipeline config and
+    the seed.  Jobs without a seed draw fresh entropy on every run, so
+    each call returns a distinct ``unseeded/...`` key that can never
+    collide with a real content hash.
+    """
+    if job.seed is None:
+        return f"unseeded/{next(_unique_counter)}"
+    material: Dict[str, object] = {
+        "config": config_to_payload(job.config),
+        "seed": job.seed,
+    }
+    if job.votes is not None:
+        material["votes"] = {
+            "n_objects": job.votes.n_objects,
+            "votes": sorted(
+                (v.worker, v.winner, v.loser) for v in job.votes
+            ),
+        }
+    if job.scenario is not None:
+        material["scenario"] = dataclasses.asdict(job.scenario)
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache of inference results, keyed by content hash.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory capacity; the least recently *used* entry is evicted
+        first.  Persisted files are never evicted.
+    persist_dir:
+        Optional directory for JSON spill files (created on demand).
+        Every stored entry is written as ``<key>.json`` in the
+        :mod:`repro.io` schema; in-memory misses fall back to the
+        directory, and a corrupt or unreadable spill file is treated as
+        a miss (logged), never an error.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        persist_dir: Optional[Union[str, Path]] = None,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = max_entries
+        self._persist_dir = Path(persist_dir) if persist_dir else None
+        self._entries: "OrderedDict[str, InferenceResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_loads = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        """The configured in-memory capacity."""
+        return self._max_entries
+
+    def get(self, key: str) -> Optional[InferenceResult]:
+        """Look up a fingerprint; returns ``None`` on a miss.
+
+        Unseeded fingerprints (``unseeded/...``) always miss.  A hit
+        refreshes the entry's LRU recency.  When a persistence directory
+        is configured, an in-memory miss consults it and re-warms the
+        memory tier on success.
+        """
+        if key.startswith("unseeded/"):
+            with self._lock:
+                self._misses += 1
+            return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        result = self._load_persisted(key)
+        with self._lock:
+            if result is not None:
+                self._hits += 1
+                self._disk_loads += 1
+                self._store(key, result)
+            else:
+                self._misses += 1
+        return result
+
+    def put(self, key: str, result: InferenceResult) -> None:
+        """Store a result under its fingerprint (and persist if enabled).
+
+        Unseeded fingerprints are not stored — the work they label is
+        not reproducible.
+        """
+        if key.startswith("unseeded/"):
+            return
+        with self._lock:
+            self._store(key, result)
+        if self._persist_dir is not None:
+            try:
+                self._persist_dir.mkdir(parents=True, exist_ok=True)
+                save_result(result, self._persist_dir / f"{key}.json")
+            except OSError as error:
+                _log.warning("cache persist failed for %s: %s", key, error)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (persisted files are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot: hits, misses, evictions, disk loads, size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "disk_loads": self._disk_loads,
+                "size": len(self._entries),
+            }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    # -- internals ----------------------------------------------------------
+
+    def _store(self, key: str, result: InferenceResult) -> None:
+        # Caller holds the lock.
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._evictions += 1
+            _log.debug("evicted cache entry %s", evicted)
+
+    def _load_persisted(self, key: str) -> Optional[InferenceResult]:
+        if self._persist_dir is None:
+            return None
+        path = self._persist_dir / f"{key}.json"
+        try:
+            return load_result(path)
+        except DataFormatError as error:
+            if path.exists():
+                _log.warning("ignoring bad cache file %s: %s", path, error)
+            return None

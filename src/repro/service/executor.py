@@ -1,0 +1,381 @@
+"""Concurrent batch execution of ranking jobs.
+
+:class:`BatchExecutor` drives many independent :class:`RankingJob`\\ s
+through the inference pipeline over a thread pool, with:
+
+* **caching** — each job is fingerprinted
+  (:func:`~repro.service.cache.fingerprint_job`) and looked up before
+  any work happens; results of seeded jobs are stored back;
+* **robustness** — a per-job wall-clock timeout, bounded
+  exponential-backoff retries for transient failures, and full
+  isolation: a poisoned job yields a ``FAILED``/``TIMED_OUT``
+  :class:`~repro.service.jobs.JobResult` instead of taking the batch
+  down;
+* **observability** — every decision is counted/timed in a
+  :class:`~repro.service.metrics.MetricsRegistry`, including the
+  per-step latency breakdown aggregated from each result.
+
+Threads (not processes) are the right pool here: results flow straight
+into the shared in-memory cache and metrics registry, the numpy kernels
+in the hot steps release the GIL for the heavy parts, and jobs need no
+pickling.  Per-job seeds keep parallel execution bit-identical to
+serial execution — every attempt builds its own generator from
+``job.seed``, never sharing a stream across jobs.
+
+Timeout semantics: each attempt runs on a daemon worker thread that is
+*abandoned* (not killed — Python cannot) when the deadline passes.  The
+batch proceeds; the stuck computation keeps a pool-external thread busy
+until it finishes or the process exits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..diagnostics import get_logger
+from ..exceptions import ConfigurationError, ReproError
+from ..inference import RankingPipeline
+from ..types import InferenceResult
+from ..workers import QualityLevel
+from .cache import ResultCache, fingerprint_job
+from .jobs import JobResult, JobStatus, RankingJob, ScenarioSpec
+from .metrics import MetricsRegistry
+from .retry import RetryExhaustedError, RetryPolicy, call_with_retry
+
+_log = get_logger("service.executor")
+
+
+class JobTimeoutError(ReproError):
+    """A job attempt exceeded the executor's per-job timeout."""
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything one :meth:`BatchExecutor.run` call produced.
+
+    Attributes
+    ----------
+    results:
+        One :class:`JobResult` per submitted job, in submission order.
+    metrics:
+        The metrics registry snapshot taken after the batch drained.
+    """
+
+    results: Tuple[JobResult, ...]
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> List[JobResult]:
+        """Results that produced a ranking (including cache hits)."""
+        return [r for r in self.results if r.status is JobStatus.SUCCEEDED]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        """Results that failed terminally (excluding timeouts)."""
+        return [r for r in self.results if r.status is JobStatus.FAILED]
+
+    @property
+    def timed_out(self) -> List[JobResult]:
+        """Results abandoned at the per-job deadline."""
+        return [r for r in self.results if r.status is JobStatus.TIMED_OUT]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every job succeeded."""
+        return len(self.succeeded) == len(self.results)
+
+    def by_id(self, job_id: str) -> JobResult:
+        """The result for ``job_id`` (raises ``KeyError`` if absent)."""
+        for result in self.results:
+            if result.job_id == job_id:
+                return result
+        raise KeyError(job_id)
+
+
+class BatchExecutor:
+    """Run batches of ranking jobs concurrently with cache + retries.
+
+    Parameters
+    ----------
+    workers:
+        Pool width.  1 degenerates to serial execution (still with
+        cache, retries and timeouts) — useful as the determinism oracle.
+    cache:
+        Result cache; ``None`` disables caching entirely.
+    retry:
+        Transient-failure schedule (defaults to :class:`RetryPolicy`'s
+        defaults; pass :data:`~repro.service.retry.NO_RETRY` to disable).
+    timeout:
+        Per-job wall-clock seconds budget covering *each attempt*
+        individually; ``None`` means unbounded.  Timed-out jobs are not
+        retried — with the same seed they would time out again.
+    metrics:
+        Registry to record into (a fresh one is created if omitted);
+        exposed as :attr:`metrics` and snapshotted into every
+        :class:`BatchReport`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError("timeout must be positive or None")
+        self._workers = workers
+        self._cache = cache
+        self._retry = retry or RetryPolicy()
+        self._timeout = timeout
+        self._metrics = metrics or MetricsRegistry()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The live metrics registry (shared across ``run`` calls)."""
+        return self._metrics
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The result cache, if caching is enabled."""
+        return self._cache
+
+    def run(self, jobs: Iterable[RankingJob]) -> BatchReport:
+        """Execute every job; never raises for individual job failures.
+
+        Results come back in submission order regardless of completion
+        order.  Duplicate jobs within one batch are executed
+        independently (later ones typically hit the cache warmed by the
+        first to finish).
+        """
+        job_list = list(jobs)
+        _log.info("batch start: %d jobs, %d workers", len(job_list),
+                  self._workers)
+        batch_start = time.perf_counter()
+        if not job_list:
+            return BatchReport(results=(), metrics=self._metrics.snapshot())
+        if self._workers == 1:
+            results = [self._execute(job) for job in job_list]
+        else:
+            with ThreadPoolExecutor(max_workers=self._workers) as pool:
+                results = list(pool.map(self._execute, job_list))
+        self._metrics.observe("batch.seconds",
+                              time.perf_counter() - batch_start)
+        report = BatchReport(results=tuple(results),
+                             metrics=self._metrics.snapshot())
+        _log.info(
+            "batch done: %d succeeded, %d failed, %d timed out",
+            len(report.succeeded), len(report.failed),
+            len(report.timed_out),
+        )
+        return report
+
+    # -- one job ------------------------------------------------------------
+
+    def _execute(self, job: RankingJob) -> JobResult:
+        """Run one job end to end; converts every failure into a result."""
+        start = time.perf_counter()
+        try:
+            outcome = self._execute_guarded(job, start)
+        except Exception as error:  # noqa: BLE001 — isolation boundary
+            # Unexpected orchestration failure: still never escapes.
+            _log.exception("job %s: unexpected executor error", job.job_id)
+            outcome = JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                error=f"{type(error).__name__}: {error}",
+                attempts=1,
+                seconds=time.perf_counter() - start,
+            )
+        self._record(outcome)
+        return outcome
+
+    def _execute_guarded(self, job: RankingJob, start: float) -> JobResult:
+        key = fingerprint_job(job) if self._cache is not None else None
+        if key is not None:
+            cached = self._cache.get(key)
+            self._metrics.increment(
+                "cache.hits" if cached is not None else "cache.misses"
+            )
+            if cached is not None:
+                _log.debug("job %s: served from cache", job.job_id)
+                return JobResult(
+                    job_id=job.job_id,
+                    status=JobStatus.SUCCEEDED,
+                    result=cached,
+                    attempts=0,
+                    from_cache=True,
+                    seconds=time.perf_counter() - start,
+                )
+
+        attempt_count = [0]
+
+        def one_attempt() -> Tuple[InferenceResult, Dict[str, object]]:
+            attempt_count[0] += 1
+            return self._run_with_timeout(job)
+
+        try:
+            retried = call_with_retry(
+                one_attempt, self._retry, label=f"job {job.job_id}",
+            )
+        except JobTimeoutError as error:
+            _log.warning("job %s: %s", job.job_id, error)
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.TIMED_OUT,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempt_count[0],
+                seconds=time.perf_counter() - start,
+            )
+        except RetryExhaustedError as error:
+            cause = error.__cause__
+            detail = (f"{type(cause).__name__}: {cause}" if cause is not None
+                      else str(error))
+            _log.warning("job %s: retries exhausted (%s)", job.job_id, detail)
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                error=detail,
+                attempts=attempt_count[0],
+                seconds=time.perf_counter() - start,
+            )
+        except Exception as error:  # noqa: BLE001 — deterministic failure
+            _log.warning("job %s: failed (%s: %s)", job.job_id,
+                         type(error).__name__, error)
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempt_count[0],
+                seconds=time.perf_counter() - start,
+            )
+
+        result, extras = retried.value
+        if retried.attempts > 1:
+            self._metrics.increment("retry.recovered")
+        if key is not None:
+            self._cache.put(key, result)
+        return JobResult(
+            job_id=job.job_id,
+            status=JobStatus.SUCCEEDED,
+            result=result,
+            attempts=retried.attempts,
+            seconds=time.perf_counter() - start,
+            extras=extras,
+        )
+
+    def _record(self, outcome: JobResult) -> None:
+        self._metrics.increment(f"jobs.{outcome.status.value}")
+        self._metrics.increment("jobs.total")
+        if outcome.attempts > 1:
+            self._metrics.increment("retry.attempts", outcome.attempts - 1)
+        self._metrics.observe("job.seconds", outcome.seconds)
+        if outcome.result is not None and not outcome.from_cache:
+            self._metrics.observe_steps(outcome.result.step_seconds)
+
+    # -- one attempt --------------------------------------------------------
+
+    def _run_with_timeout(
+        self, job: RankingJob
+    ) -> Tuple[InferenceResult, Dict[str, object]]:
+        """One attempt, bounded by the per-job timeout.
+
+        The attempt runs on a daemon thread; if it outlives the
+        deadline it is abandoned and :class:`JobTimeoutError` is raised
+        (the stray thread cannot poison later jobs — it shares no
+        mutable state with them).
+        """
+        if self._timeout is None:
+            return self._attempt(job)
+        box: List[Tuple[str, object]] = []
+
+        def target() -> None:
+            try:
+                box.append(("ok", self._attempt(job)))
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                box.append(("err", error))
+
+        thread = threading.Thread(
+            target=target, daemon=True,
+            name=f"repro-job-{job.job_id}",
+        )
+        thread.start()
+        thread.join(self._timeout)
+        if thread.is_alive():
+            raise JobTimeoutError(
+                f"attempt exceeded {self._timeout:g}s (abandoned)"
+            )
+        kind, payload = box[0]
+        if kind == "err":
+            raise payload  # type: ignore[misc]
+        return payload  # type: ignore[return-value]
+
+    def _attempt(
+        self, job: RankingJob
+    ) -> Tuple[InferenceResult, Dict[str, object]]:
+        """Execute the job's actual work once (the monkeypatchable seam).
+
+        Returns the inference result plus job-kind extras.  Votes jobs
+        run the Steps 1-4 pipeline directly; scenario jobs simulate the
+        whole non-interactive round first and additionally report the
+        accuracy against the scenario's latent ground truth.
+        """
+        rng = np.random.default_rng(job.seed)
+        if job.votes is not None:
+            pipeline = RankingPipeline(job.config)
+            return pipeline.run(job.votes, rng), {}
+        return self._run_scenario(job, job.scenario, rng)
+
+    @staticmethod
+    def _run_scenario(
+        job: RankingJob, spec: ScenarioSpec, rng: np.random.Generator
+    ) -> Tuple[InferenceResult, Dict[str, object]]:
+        # Imported lazily: session pulls in the platform simulator, which
+        # pure votes-only deployments never need.
+        from ..datasets import make_scenario
+        from ..session import rank_with_crowd
+
+        scenario = make_scenario(
+            spec.n_objects,
+            spec.selection_ratio,
+            n_workers=spec.n_workers,
+            workers_per_task=spec.workers_per_task,
+            quality=spec.quality,
+            level=QualityLevel(spec.level),
+            rng=rng,
+        )
+        outcome = rank_with_crowd(
+            scenario.ground_truth,
+            scenario.pool,
+            selection_ratio=spec.selection_ratio,
+            workers_per_task=spec.workers_per_task,
+            config=job.config,
+            rng=rng,
+        )
+        return outcome.result, {"accuracy": outcome.accuracy}
+
+
+def run_batch(
+    jobs: Iterable[RankingJob],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+) -> BatchReport:
+    """One-call convenience: build a :class:`BatchExecutor` and run."""
+    executor = BatchExecutor(
+        workers, cache=cache, retry=retry, timeout=timeout
+    )
+    return executor.run(jobs)

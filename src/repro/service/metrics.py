@@ -1,0 +1,104 @@
+"""Lightweight run metrics for the batch service.
+
+A :class:`MetricsRegistry` is a thread-safe bag of named **counters**
+(monotonic totals: jobs succeeded, cache hits, retries, ...) and
+**timers** (count / total / min / max / mean of observed durations:
+whole-job latency, per-pipeline-step latency aggregated from
+:attr:`~repro.types.InferenceResult.step_seconds`).  It deliberately has
+no external dependencies and no background machinery: callers record,
+:meth:`~MetricsRegistry.snapshot` renders one JSON-ready dict, done.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class TimerStats:
+    """Aggregate of one named duration series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready view, with a derived mean."""
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "min": round(self.min, 6) if self.count else 0.0,
+            "max": round(self.max, 6),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters + timers with a JSON snapshot.
+
+    Naming convention (dots as separators): ``jobs.succeeded``,
+    ``cache.hits``, ``retry.attempts``, timer ``job.seconds``, timers
+    ``step.<pipeline step>`` for the Fig.-4 style breakdown.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStats] = {}
+
+    def increment(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        if not name:
+            raise ConfigurationError("counter name must be non-empty")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration under timer ``name``."""
+        if not name:
+            raise ConfigurationError("timer name must be non-empty")
+        if seconds < 0:
+            raise ConfigurationError("duration must be non-negative")
+        with self._lock:
+            self._timers.setdefault(name, TimerStats()).observe(seconds)
+
+    def observe_steps(self, step_seconds: Mapping[str, float]) -> None:
+        """Fold a result's per-step timings into ``step.<name>`` timers."""
+        for step, seconds in step_seconds.items():
+            self.observe(f"step.{step}", seconds)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready dict: counters, timers, derived rates.
+
+        Derived values currently include ``cache_hit_rate`` — cache hits
+        over all cache lookups — whenever any lookup was recorded.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            timers = {
+                name: stats.as_dict() for name, stats in self._timers.items()
+            }
+        derived: Dict[str, float] = {}
+        lookups = counters.get("cache.hits", 0) + counters.get("cache.misses", 0)
+        if lookups:
+            derived["cache_hit_rate"] = round(
+                counters.get("cache.hits", 0) / lookups, 6
+            )
+        return {"counters": counters, "timers": timers, "derived": derived}

@@ -1,0 +1,166 @@
+"""Bounded retry with exponential backoff for the batch service.
+
+The service distinguishes *transient* failures (worth re-running: an
+injected platform hiccup, a flaky I/O layer, an explicitly raised
+:class:`TransientJobError`) from *deterministic* ones (a
+:class:`~repro.exceptions.ReproError` from validation or inference —
+re-running the same job with the same seed would fail identically, so
+retrying only burns budget).  :func:`call_with_retry` implements the
+loop; :class:`RetryPolicy` is the immutable schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from ..diagnostics import get_logger
+from ..exceptions import ConfigurationError, ReproError
+
+_log = get_logger("service.retry")
+
+T = TypeVar("T")
+
+
+class TransientJobError(ReproError):
+    """A failure the caller believes would not repeat — always retried.
+
+    Raise this (or wrap a lower-level error in it) from custom job
+    runners to opt a failure into the retry loop despite being a
+    :class:`ReproError`.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """Every allowed attempt failed with a transient error.
+
+    The final underlying error is available as ``__cause__`` and the
+    number of attempts as :attr:`attempts`.
+    """
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule: bounded attempts, capped delays.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (1 disables retrying).
+    base_delay:
+        Seconds slept after the first failed attempt.
+    multiplier:
+        Geometric growth factor applied per subsequent failure.
+    max_delay:
+        Upper clamp on any single sleep.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ConfigurationError("base_delay must be non-negative")
+        if self.multiplier < 1:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+
+    def delay_for(self, failed_attempts: int) -> float:
+        """Seconds to sleep after ``failed_attempts`` failures (>= 1)."""
+        if failed_attempts < 1:
+            raise ConfigurationError("failed_attempts must be >= 1")
+        delay = self.base_delay * self.multiplier ** (failed_attempts - 1)
+        return min(delay, self.max_delay)
+
+
+#: A policy that never retries (single attempt, no sleeping).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0)
+
+
+def default_is_transient(error: BaseException) -> bool:
+    """The service's default transience classifier.
+
+    * :class:`TransientJobError` — explicitly transient, retried.
+    * any other :class:`~repro.exceptions.ReproError` — deterministic
+      (bad config, malformed data, infeasible inference), not retried.
+    * :class:`ConnectionError` / :class:`OSError` — environmental,
+      retried.
+    * everything else — assumed deterministic, not retried.
+    """
+    if isinstance(error, TransientJobError):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    return isinstance(error, (ConnectionError, OSError, TimeoutError))
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    *,
+    is_transient: Callable[[BaseException], bool] = default_is_transient,
+    sleep: Callable[[float], None] = time.sleep,
+    label: str = "job",
+) -> "RetryOutcome[T]":
+    """Call ``fn`` under a retry policy; return value plus attempt count.
+
+    Non-transient errors propagate unchanged on first occurrence.  When
+    every attempt fails transiently, :class:`RetryExhaustedError` is
+    raised with the last failure chained as ``__cause__``.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable performing one attempt.
+    policy:
+        Schedule (defaults to :class:`RetryPolicy`'s defaults).
+    is_transient:
+        Failure classifier (defaults to :func:`default_is_transient`).
+    sleep:
+        Injectable sleeper — tests pass a recorder to avoid real delays.
+    label:
+        Human-readable work name used in log lines and errors.
+    """
+    policy = policy or RetryPolicy()
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            value = fn()
+        except Exception as error:  # noqa: BLE001 — classified below
+            if not is_transient(error):
+                raise
+            last_error = error
+            if attempt == policy.max_attempts:
+                break
+            delay = policy.delay_for(attempt)
+            _log.info(
+                "%s: transient failure on attempt %d/%d (%s); retrying in %.3fs",
+                label, attempt, policy.max_attempts, error, delay,
+            )
+            if delay > 0:
+                sleep(delay)
+        else:
+            return RetryOutcome(value=value, attempts=attempt)
+    raise RetryExhaustedError(
+        f"{label}: all {policy.max_attempts} attempts failed "
+        f"(last: {last_error})",
+        attempts=policy.max_attempts,
+    ) from last_error
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """A successful :func:`call_with_retry` call: value + attempts used."""
+
+    value: T  # type: ignore[valid-type]
+    attempts: int

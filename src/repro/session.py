@@ -17,12 +17,15 @@ from .assignment import assign_hits, generate_assignment
 from .assignment.generator import TaskAssignment
 from .budget import BudgetPlan, plan_for_selection_ratio
 from .config import PipelineConfig
+from .diagnostics import get_logger
 from .inference import RankingPipeline
 from .metrics import ranking_accuracy
 from .platform import CrowdsourcingRun, NonInteractivePlatform
 from .rng import SeedLike, ensure_rng
 from .types import InferenceResult, Ranking
 from .workers import WorkerPool
+
+_log = get_logger("session")
 
 
 @dataclass(frozen=True)
@@ -105,9 +108,15 @@ def rank_with_crowd(
     run = platform.run(worker_assignment)
     pipeline = RankingPipeline(config or PipelineConfig())
     result = pipeline.run(run.votes, generator)
+    accuracy = ranking_accuracy(result.ranking, ground_truth)
+    _log.debug(
+        "session done: n=%d r=%.3f w=%d votes=%d accuracy=%.4f",
+        len(ground_truth), plan.selection_ratio, workers_per_task,
+        len(run.votes), accuracy,
+    )
     return CrowdRankingOutcome(
         result=result,
-        accuracy=ranking_accuracy(result.ranking, ground_truth),
+        accuracy=accuracy,
         plan=plan,
         assignment=assignment,
         run=run,

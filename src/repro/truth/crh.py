@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 from scipy import stats
@@ -70,7 +70,7 @@ class TruthDiscoveryResult:
 
 def discover_truth(
     votes: VoteSet,
-    config: TruthDiscoveryConfig = TruthDiscoveryConfig(),
+    config: Optional[TruthDiscoveryConfig] = None,
 ) -> TruthDiscoveryResult:
     """Run iterative truth discovery over a vote set.
 
@@ -81,6 +81,7 @@ def discover_truth(
     ConvergenceError
         If ``config.strict`` and the iteration cap is reached first.
     """
+    config = config if config is not None else TruthDiscoveryConfig()
     if len(votes) == 0:
         raise InferenceError("cannot discover truth from an empty vote set")
     start = time.perf_counter()

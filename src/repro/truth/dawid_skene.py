@@ -24,6 +24,8 @@ The output is interface-compatible with
 from __future__ import annotations
 
 import time
+from typing import Optional
+
 import numpy as np
 
 from ..config import TruthDiscoveryConfig
@@ -38,7 +40,7 @@ _ACC_FLOOR = 1e-3
 
 def discover_truth_em(
     votes: VoteSet,
-    config: TruthDiscoveryConfig = TruthDiscoveryConfig(),
+    config: Optional[TruthDiscoveryConfig] = None,
 ) -> TruthDiscoveryResult:
     """EM (Dawid-Skene) truth discovery over a vote set.
 
@@ -56,6 +58,7 @@ def discover_truth_em(
     ConvergenceError
         If ``config.strict`` and the iteration cap is reached first.
     """
+    config = config if config is not None else TruthDiscoveryConfig()
     if len(votes) == 0:
         raise InferenceError("cannot discover truth from an empty vote set")
     start = time.perf_counter()

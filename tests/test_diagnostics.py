@@ -1,0 +1,72 @@
+"""Unit tests for the namespaced logging diagnostics layer."""
+
+import logging
+
+import pytest
+
+from repro.diagnostics import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_handlers():
+    """Remove any CLI handlers installed by a test, keep the NullHandler."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_root(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+
+    def test_suffix_is_namespaced(self):
+        assert get_logger("service.cache").name == "repro.service.cache"
+
+    def test_dunder_name_passthrough(self):
+        assert get_logger("repro.inference.pipeline").name == \
+            "repro.inference.pipeline"
+
+    def test_library_is_silent_by_default(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_installs_handler_at_level(self):
+        handler = configure_logging(logging.DEBUG)
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert handler in root.handlers
+        assert handler.level == logging.DEBUG
+
+    def test_reconfiguring_replaces_own_handler(self):
+        first = configure_logging(logging.INFO)
+        second = configure_logging(logging.DEBUG)
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert first not in root.handlers
+        assert second in root.handlers
+
+
+class TestLibraryEmitsDiagnostics:
+    def test_pipeline_logs_step_timings(self, tiny_votes, caplog):
+        from repro.inference import infer_ranking
+
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            infer_ranking(tiny_votes, rng=1)
+        messages = [r.message for r in caplog.records
+                    if r.name == "repro.inference.pipeline"]
+        assert any("pipeline done" in m for m in messages)
+
+    def test_batch_executor_logs_lifecycle(self, tiny_votes, caplog):
+        from repro.service import BatchExecutor, RankingJob
+
+        job = RankingJob(job_id="log-me", votes=tiny_votes, seed=1)
+        with caplog.at_level(logging.INFO, logger="repro"):
+            BatchExecutor(workers=1).run([job])
+        messages = [r.message for r in caplog.records
+                    if r.name == "repro.service.executor"]
+        assert any("batch start" in m for m in messages)
+        assert any("batch done" in m for m in messages)

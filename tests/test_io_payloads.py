@@ -1,0 +1,98 @@
+"""Round-trip tests for the :mod:`repro.io` payload codecs.
+
+These codecs back both file persistence and the batch service's result
+cache / JSONL streams, so the schema contract is tested here once.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.io import (
+    SCHEMA,
+    load_result,
+    result_from_payload,
+    result_to_payload,
+    save_result,
+)
+from repro.types import InferenceResult, Ranking
+
+
+@pytest.fixture
+def result():
+    return InferenceResult(
+        ranking=Ranking([2, 0, 1]),
+        log_preference=-1.25,
+        worker_quality={0: 0.9, 3: 0.4},
+        direct_preferences={(0, 1): 0.8, (1, 2): 0.3},
+        step_seconds={"truth_discovery": 0.1, "search": 0.9},
+        metadata={"search_algorithm": "saps", "truth_iterations": 7},
+    )
+
+
+class TestPayloadCodec:
+    def test_round_trip_preserves_everything(self, result):
+        clone = result_from_payload(result_to_payload(result))
+        assert clone.ranking == result.ranking
+        assert clone.log_preference == result.log_preference
+        assert clone.worker_quality == result.worker_quality
+        assert clone.direct_preferences == result.direct_preferences
+        assert clone.step_seconds == result.step_seconds
+        assert clone.metadata == result.metadata
+
+    def test_payload_is_json_ready(self, result):
+        json.dumps(result_to_payload(result))  # must not raise
+
+    def test_payload_carries_schema_tag(self, result):
+        assert result_to_payload(result)["schema"] == SCHEMA
+
+    def test_schema_tag_enforced(self, result):
+        payload = result_to_payload(result)
+        del payload["schema"]
+        with pytest.raises(DataFormatError):
+            result_from_payload(payload)
+        payload["schema"] = "repro.inference_result/999"
+        with pytest.raises(DataFormatError):
+            result_from_payload(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(DataFormatError):
+            result_from_payload([1, 2, 3])
+
+    def test_invalid_ranking_rejected(self, result):
+        payload = result_to_payload(result)
+        payload["ranking"] = [0, 0, 1]
+        with pytest.raises(DataFormatError):
+            result_from_payload(payload)
+
+    def test_malformed_pair_key_rejected(self, result):
+        payload = result_to_payload(result)
+        payload["direct_preferences"] = {"0-1": 0.5}
+        with pytest.raises(DataFormatError):
+            result_from_payload(payload)
+
+    def test_source_appears_in_error(self, result):
+        with pytest.raises(DataFormatError, match="line 3"):
+            result_from_payload({"schema": "nope"}, source="line 3")
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result(path).ranking == result.ranking
+
+    def test_missing_file_raises_data_format(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_result(tmp_path / "absent.json")
+
+    def test_directory_raises_data_format(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_result(tmp_path)
+
+    def test_corrupt_json_raises_data_format(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{truncated")
+        with pytest.raises(DataFormatError):
+            load_result(path)

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.datasets",
     "repro.experiments",
+    "repro.service",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -26,6 +27,12 @@ MODULES = SUBPACKAGES + [
     "repro.config",
     "repro.rng",
     "repro.exceptions",
+    "repro.diagnostics",
+    "repro.service.jobs",
+    "repro.service.cache",
+    "repro.service.retry",
+    "repro.service.metrics",
+    "repro.service.executor",
     "repro.session",
     "repro.topk",
     "repro.adaptive",

@@ -1,0 +1,119 @@
+"""Unit tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.config import PipelineConfig, SAPSConfig
+from repro.exceptions import ConfigurationError
+from repro.service import RankingJob, ResultCache, ScenarioSpec, fingerprint_job
+from repro.types import InferenceResult, Ranking, Vote, VoteSet
+
+
+def _result(order):
+    return InferenceResult(ranking=Ranking(order), log_preference=-1.0,
+                           step_seconds={"search": 0.5})
+
+
+class TestFingerprint:
+    def test_same_content_same_key(self, tiny_votes):
+        a = RankingJob(job_id="a", votes=tiny_votes, seed=5)
+        b = RankingJob(job_id="totally-different-id", votes=tiny_votes, seed=5)
+        assert fingerprint_job(a) == fingerprint_job(b)
+
+    def test_vote_order_is_canonicalised(self):
+        votes = [Vote(0, 0, 1), Vote(1, 1, 2), Vote(2, 0, 2)]
+        fwd = VoteSet.from_votes(3, votes)
+        rev = VoteSet.from_votes(3, list(reversed(votes)))
+        assert (fingerprint_job(RankingJob(job_id="a", votes=fwd, seed=1))
+                == fingerprint_job(RankingJob(job_id="b", votes=rev, seed=1)))
+
+    def test_seed_and_config_are_significant(self, tiny_votes):
+        base = RankingJob(job_id="a", votes=tiny_votes, seed=1)
+        other_seed = RankingJob(job_id="a", votes=tiny_votes, seed=2)
+        other_config = RankingJob(
+            job_id="a", votes=tiny_votes, seed=1,
+            config=PipelineConfig(saps=SAPSConfig(iterations=5)),
+        )
+        keys = {fingerprint_job(base), fingerprint_job(other_seed),
+                fingerprint_job(other_config)}
+        assert len(keys) == 3
+
+    def test_scenario_jobs_fingerprint_by_spec(self):
+        a = RankingJob(job_id="a", scenario=ScenarioSpec(10, 0.5), seed=1)
+        b = RankingJob(job_id="b", scenario=ScenarioSpec(10, 0.5), seed=1)
+        c = RankingJob(job_id="c", scenario=ScenarioSpec(11, 0.5), seed=1)
+        assert fingerprint_job(a) == fingerprint_job(b)
+        assert fingerprint_job(a) != fingerprint_job(c)
+
+    def test_unseeded_jobs_never_collide(self, tiny_votes):
+        job = RankingJob(job_id="a", votes=tiny_votes)
+        assert fingerprint_job(job) != fingerprint_job(job)
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self):
+        cache = ResultCache()
+        cache.put("k1", _result([1, 0]))
+        hit = cache.get("k1")
+        assert hit is not None and hit.ranking == Ranking([1, 0])
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+
+    def test_miss_counts(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+        assert cache.hit_rate == 0.0
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", _result([0, 1]))
+        cache.put("b", _result([1, 0]))
+        cache.get("a")                      # refresh a; b is now LRU
+        cache.put("c", _result([0, 1]))    # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_unseeded_keys_are_not_stored(self):
+        cache = ResultCache()
+        cache.put("unseeded/0", _result([0, 1]))
+        assert len(cache) == 0
+        assert cache.get("unseeded/0") is None
+
+    def test_validates_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+
+class TestCachePersistence:
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(persist_dir=tmp_path)
+        first.put("deadbeef", _result([2, 0, 1]))
+        assert (tmp_path / "deadbeef.json").exists()
+
+        # A fresh cache (new process, conceptually) reloads from disk.
+        second = ResultCache(persist_dir=tmp_path)
+        hit = second.get("deadbeef")
+        assert hit is not None
+        assert hit.ranking == Ranking([2, 0, 1])
+        assert hit.step_seconds == {"search": 0.5}
+        assert second.stats()["disk_loads"] == 1
+
+    def test_corrupt_spill_file_is_a_miss_not_a_crash(self, tmp_path):
+        (tmp_path / "badkey.json").write_text("{not json at all")
+        cache = ResultCache(persist_dir=tmp_path)
+        assert cache.get("badkey") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_schema_spill_file_is_a_miss(self, tmp_path):
+        (tmp_path / "oldkey.json").write_text(
+            '{"schema": "repro.inference_result/0", "ranking": [0, 1]}'
+        )
+        cache = ResultCache(persist_dir=tmp_path)
+        assert cache.get("oldkey") is None
+
+    def test_eviction_does_not_delete_spill_files(self, tmp_path):
+        cache = ResultCache(max_entries=1, persist_dir=tmp_path)
+        cache.put("k1", _result([0, 1]))
+        cache.put("k2", _result([1, 0]))   # evicts k1 from memory
+        assert cache.get("k1") is not None  # reloaded from disk

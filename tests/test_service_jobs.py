@@ -1,0 +1,160 @@
+"""Unit tests for the batch-service job model and JSONL codecs."""
+
+import json
+
+import pytest
+
+from repro.config import PipelineConfig, PropagationConfig, SAPSConfig
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.service import (
+    JobResult,
+    JobStatus,
+    RankingJob,
+    ScenarioSpec,
+    dump_results_jsonl,
+    iter_jobs_jsonl,
+    job_from_payload,
+    job_result_to_payload,
+    job_to_payload,
+    load_jobs_jsonl,
+)
+from repro.service.jobs import config_from_payload, config_to_payload
+from repro.types import InferenceResult, Ranking
+
+
+class TestRankingJobValidation:
+    def test_requires_exactly_one_work_source(self, tiny_votes):
+        with pytest.raises(ConfigurationError):
+            RankingJob(job_id="j")  # neither votes nor scenario
+        with pytest.raises(ConfigurationError):
+            RankingJob(job_id="j", votes=tiny_votes,
+                       scenario=ScenarioSpec(5, 0.5))
+
+    def test_requires_job_id(self, tiny_votes):
+        with pytest.raises(ConfigurationError):
+            RankingJob(job_id="", votes=tiny_votes)
+
+    def test_scenario_spec_validates(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(1, 0.5)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(5, 0.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(5, 0.5, quality="psychic")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(5, 0.5, level="superb")
+
+
+class TestConfigCodec:
+    def test_round_trip_preserves_every_field(self):
+        config = PipelineConfig(
+            search="taps",
+            truth_engine="em",
+            saps=SAPSConfig(iterations=123, restarts=1),
+            propagation=PropagationConfig(alpha=0.7, max_hops=4,
+                                          method="walks"),
+        )
+        assert config_from_payload(config_to_payload(config)) == config
+
+    def test_partial_payload_fills_defaults(self):
+        config = config_from_payload({"search": "taps"})
+        assert config.search == "taps"
+        assert config.truth == PipelineConfig().truth
+
+    def test_none_means_defaults(self):
+        assert config_from_payload(None) == PipelineConfig()
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(DataFormatError):
+            config_from_payload({"exotic": 1})
+
+    def test_invalid_value_raises_data_format(self):
+        with pytest.raises(DataFormatError):
+            config_from_payload({"search": "bogosort"})
+        with pytest.raises(DataFormatError):
+            config_from_payload({"saps": {"iterations": -1}})
+
+
+class TestJobCodec:
+    def test_votes_job_round_trip(self, tiny_votes):
+        job = RankingJob(job_id="j1", votes=tiny_votes, seed=7)
+        clone = job_from_payload(job_to_payload(job))
+        assert clone.job_id == "j1"
+        assert clone.seed == 7
+        assert clone.votes == tiny_votes
+        assert clone.config == job.config
+
+    def test_scenario_job_round_trip(self):
+        job = RankingJob(job_id="sim", seed=3,
+                         scenario=ScenarioSpec(12, 0.4, n_workers=9,
+                                               workers_per_task=3,
+                                               quality="uniform",
+                                               level="low"))
+        clone = job_from_payload(job_to_payload(job))
+        assert clone.scenario == job.scenario
+
+    def test_schema_tag_enforced(self):
+        with pytest.raises(DataFormatError):
+            job_from_payload({"job_id": "j"})
+        with pytest.raises(DataFormatError):
+            job_from_payload({"schema": "repro.job/999", "job_id": "j"})
+        with pytest.raises(DataFormatError):
+            job_from_payload([1, 2, 3])
+
+    def test_malformed_votes_raise(self):
+        with pytest.raises(DataFormatError):
+            job_from_payload({"schema": "repro.job/1", "job_id": "j",
+                              "votes": {"n_objects": 3,
+                                        "votes": [[0, 1, 1]]}})
+
+    def test_non_integer_seed_raises(self, tiny_votes):
+        payload = job_to_payload(RankingJob(job_id="j", votes=tiny_votes))
+        payload["seed"] = "soon"
+        with pytest.raises(DataFormatError):
+            job_from_payload(payload)
+
+
+class TestJsonlStreams:
+    def test_blank_and_comment_lines_skipped(self, tiny_votes):
+        line = json.dumps(job_to_payload(
+            RankingJob(job_id="a", votes=tiny_votes, seed=1)))
+        jobs = list(iter_jobs_jsonl(["", "# jobs below", line, "   "]))
+        assert [job.job_id for job in jobs] == ["a"]
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(DataFormatError, match=":2:"):
+            list(iter_jobs_jsonl(["", "{not json"], source=""))
+
+    def test_load_jobs_file_round_trip(self, tmp_path, tiny_votes):
+        path = tmp_path / "jobs.jsonl"
+        payloads = [
+            job_to_payload(RankingJob(job_id=f"j{i}", votes=tiny_votes,
+                                      seed=i))
+            for i in range(3)
+        ]
+        path.write_text("".join(json.dumps(p) + "\n" for p in payloads))
+        jobs = load_jobs_jsonl(path)
+        assert [job.job_id for job in jobs] == ["j0", "j1", "j2"]
+
+    def test_load_missing_file_raises_data_format(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_jobs_jsonl(tmp_path / "nope.jsonl")
+
+    def test_dump_results_jsonl(self):
+        result = InferenceResult(ranking=Ranking([1, 0]),
+                                 log_preference=-0.5)
+        ok = JobResult(job_id="a", status=JobStatus.SUCCEEDED,
+                       result=result, attempts=1, seconds=0.1,
+                       extras={"accuracy": 1.0})
+        bad = JobResult(job_id="b", status=JobStatus.FAILED,
+                        error="InferenceError: boom", attempts=2,
+                        seconds=0.2)
+        lines = dump_results_jsonl([ok, bad]).splitlines()
+        first, second = (json.loads(line) for line in lines)
+        assert first["schema"] == "repro.job_result/1"
+        assert first["ranking"] == [1, 0]
+        assert first["extras"] == {"accuracy": 1.0}
+        assert first["result"]["schema"] == "repro.inference_result/1"
+        assert second["status"] == "failed"
+        assert "ranking" not in second
+        assert second["error"].startswith("InferenceError")

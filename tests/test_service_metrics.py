@@ -1,0 +1,79 @@
+"""Unit tests for the service metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        metrics = MetricsRegistry()
+        metrics.increment("jobs.total")
+        metrics.increment("jobs.total", 2)
+        assert metrics.counter("jobs.total") == 3
+        assert metrics.counter("never.touched") == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().increment("")
+
+
+class TestTimers:
+    def test_observe_aggregates(self):
+        metrics = MetricsRegistry()
+        for seconds in (0.1, 0.3, 0.2):
+            metrics.observe("job.seconds", seconds)
+        timer = metrics.snapshot()["timers"]["job.seconds"]
+        assert timer["count"] == 3
+        assert timer["total"] == pytest.approx(0.6)
+        assert timer["mean"] == pytest.approx(0.2)
+        assert timer["min"] == pytest.approx(0.1)
+        assert timer["max"] == pytest.approx(0.3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().observe("t", -0.1)
+
+    def test_observe_steps_prefixes(self):
+        metrics = MetricsRegistry()
+        metrics.observe_steps({"truth_discovery": 0.4, "search": 1.2})
+        timers = metrics.snapshot()["timers"]
+        assert set(timers) == {"step.truth_discovery", "step.search"}
+
+
+class TestSnapshot:
+    def test_cache_hit_rate_derived(self):
+        metrics = MetricsRegistry()
+        metrics.increment("cache.hits", 3)
+        metrics.increment("cache.misses", 1)
+        assert metrics.snapshot()["derived"]["cache_hit_rate"] == 0.75
+
+    def test_no_lookups_no_rate(self):
+        assert "cache_hit_rate" not in MetricsRegistry().snapshot()["derived"]
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a")
+        snap = metrics.snapshot()
+        snap["counters"]["a"] = 999
+        assert metrics.counter("a") == 1
+
+
+def test_thread_safety_under_contention():
+    metrics = MetricsRegistry()
+
+    def hammer():
+        for _ in range(1000):
+            metrics.increment("contended")
+            metrics.observe("contended.seconds", 0.001)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert metrics.counter("contended") == 8000
+    assert metrics.snapshot()["timers"]["contended.seconds"]["count"] == 8000

@@ -1,0 +1,124 @@
+"""Unit tests for the retry policy and backoff loop."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InferenceError
+from repro.service import (
+    NO_RETRY,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientJobError,
+    call_with_retry,
+    default_is_transient,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.35)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.35)  # capped
+        assert policy.delay_for(4) == pytest.approx(0.35)
+
+    def test_delay_for_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay_for(0)
+
+
+class TestTransienceClassifier:
+    def test_transient_job_error_is_transient(self):
+        assert default_is_transient(TransientJobError("net hiccup"))
+
+    def test_repro_errors_are_deterministic(self):
+        assert not default_is_transient(InferenceError("zero votes"))
+        assert not default_is_transient(ConfigurationError("bad alpha"))
+
+    def test_environmental_errors_are_transient(self):
+        assert default_is_transient(ConnectionError("reset"))
+        assert default_is_transient(OSError("disk"))
+
+    def test_generic_exceptions_are_deterministic(self):
+        assert not default_is_transient(ValueError("bug"))
+
+
+class TestCallWithRetry:
+    def test_first_try_success_uses_one_attempt(self):
+        outcome = call_with_retry(lambda: "value", NO_RETRY)
+        assert outcome.value == "value"
+        assert outcome.attempts == 1
+
+    def test_retry_then_succeed(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientJobError("hiccup")
+            return 42
+
+        sleeps = []
+        outcome = call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0,
+                        max_delay=10.0),
+            sleep=sleeps.append,
+        )
+        assert outcome.value == 42
+        assert outcome.attempts == 3
+        assert sleeps == pytest.approx([0.1, 0.2])  # exponential backoff
+
+    def test_retry_exhausted_raises_with_cause(self):
+        def always_flaky():
+            raise TransientJobError("still down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(
+                always_flaky,
+                RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0),
+                sleep=lambda _: None,
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.__cause__, TransientJobError)
+
+    def test_deterministic_failure_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise InferenceError("always broken")
+
+        with pytest.raises(InferenceError):
+            call_with_retry(broken, RetryPolicy(max_attempts=5,
+                                                base_delay=0.0,
+                                                max_delay=0.0))
+        assert len(calls) == 1  # no retry burned on a deterministic error
+
+    def test_custom_classifier(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("flaky in this context")
+
+        outcome = None
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                broken,
+                RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0),
+                is_transient=lambda e: isinstance(e, ValueError),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 2
+        assert outcome is None
