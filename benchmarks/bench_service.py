@@ -1,0 +1,155 @@
+"""Seed benchmark for the serving stack: executor vs HTTP server.
+
+Drives the same synthetic scenario workload through (a) the in-process
+:class:`~repro.service.BatchExecutor` and (b) a live
+:class:`~repro.server.RankingServer` hit by concurrent
+:class:`~repro.client.RankingClient` threads, then writes
+``BENCH_service.json`` at the repo root: throughput, p50/p95 latency
+and cache hit-rate per mode, so later PRs can track the serving
+overhead and tail latency over time.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--jobs 24] ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List
+
+from repro.client import RankingClient
+from repro.server import RankingServer, ServerConfig
+from repro.service import (
+    BatchExecutor,
+    MetricsRegistry,
+    RankingJob,
+    ResultCache,
+    ScenarioSpec,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_jobs(count: int, n_objects: int, repeat_every: int) -> List[RankingJob]:
+    """Synthetic scenario jobs; every ``repeat_every``-th seed repeats so
+    the cache has something to hit."""
+    jobs = []
+    for index in range(count):
+        seed = index % repeat_every if repeat_every else index
+        jobs.append(RankingJob(
+            job_id=f"bench-{index}",
+            scenario=ScenarioSpec(n_objects, 0.5, n_workers=12,
+                                  workers_per_task=5),
+            seed=seed,
+        ))
+    return jobs
+
+
+def summarise(metrics: MetricsRegistry, elapsed: float,
+              count: int) -> Dict[str, object]:
+    snapshot = metrics.snapshot()
+    job_timer = snapshot["timers"].get("job.seconds", {})
+    return {
+        "jobs": count,
+        "seconds": round(elapsed, 4),
+        "throughput_jobs_per_s": round(count / elapsed, 3) if elapsed else 0.0,
+        "latency_p50_s": job_timer.get("p50", 0.0),
+        "latency_p95_s": job_timer.get("p95", 0.0),
+        "latency_mean_s": job_timer.get("mean", 0.0),
+        "cache_hit_rate": snapshot["derived"].get("cache_hit_rate", 0.0),
+    }
+
+
+def bench_executor(jobs: List[RankingJob], workers: int) -> Dict[str, object]:
+    executor = BatchExecutor(workers, cache=ResultCache(),
+                             metrics=MetricsRegistry())
+    start = time.perf_counter()
+    report = executor.run(jobs)
+    elapsed = time.perf_counter() - start
+    assert report.ok, "benchmark jobs must all succeed"
+    return summarise(executor.metrics, elapsed, len(jobs))
+
+
+def bench_server(jobs: List[RankingJob], workers: int,
+                 clients: int) -> Dict[str, object]:
+    server = RankingServer(ServerConfig(
+        port=0, workers=workers, queue_depth=max(2 * clients, 8),
+        default_timeout=300.0,
+    ))
+    server.start()
+    try:
+        client = RankingClient(server.url, timeout=300.0)
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            outcomes = list(pool.map(client.rank_job, jobs))
+        elapsed = time.perf_counter() - start
+        assert all(o.ok for o in outcomes), "benchmark jobs must all succeed"
+        summary = summarise(server.metrics, elapsed, len(jobs))
+        request_timer = server.metrics.snapshot()["timers"].get(
+            "http.request.seconds", {})
+        summary["http_request_p50_s"] = request_timer.get("p50", 0.0)
+        summary["http_request_p95_s"] = request_timer.get("p95", 0.0)
+        return summary
+    finally:
+        server.stop(drain_timeout=30.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=24,
+                        help="jobs per mode (default 24)")
+    parser.add_argument("--n-objects", type=int, default=16,
+                        help="objects per scenario (default 16)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="executor pool width / server slots (default 4)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default 4)")
+    parser.add_argument("--repeat-every", type=int, default=8,
+                        help="seed cycle length, controls cache hits "
+                             "(default 8)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_service.json"),
+                        help="output path (default <repo>/BENCH_service.json)")
+    args = parser.parse_args()
+
+    jobs = make_jobs(args.jobs, args.n_objects, args.repeat_every)
+    print(f"workload: {args.jobs} scenario jobs, {args.n_objects} objects, "
+          f"seed cycle {args.repeat_every}")
+
+    print("running in-process executor ...")
+    executor_summary = bench_executor(jobs, args.workers)
+    print(f"  {executor_summary['throughput_jobs_per_s']} jobs/s, "
+          f"p95 {executor_summary['latency_p95_s']}s")
+
+    print("running HTTP server ...")
+    server_summary = bench_server(jobs, args.workers, args.clients)
+    print(f"  {server_summary['throughput_jobs_per_s']} jobs/s, "
+          f"p95 {server_summary['latency_p95_s']}s")
+
+    payload = {
+        "generated_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "workload": {
+            "jobs": args.jobs,
+            "n_objects": args.n_objects,
+            "workers": args.workers,
+            "clients": args.clients,
+            "repeat_every": args.repeat_every,
+        },
+        "executor": executor_summary,
+        "server": server_summary,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,8 @@ from .service import (
     ScenarioSpec,
     run_batch,
 )
+from .server import RankingServer, ServerConfig
+from .client import RankingClient, ServerError, ServerUnavailableError
 
 __all__ = [
     "__version__",
@@ -88,4 +90,9 @@ __all__ = [
     "RetryPolicy",
     "ScenarioSpec",
     "run_batch",
+    "RankingServer",
+    "ServerConfig",
+    "RankingClient",
+    "ServerError",
+    "ServerUnavailableError",
 ]

@@ -19,6 +19,11 @@ The commands cover the library's main entry points:
     :mod:`repro.service` — result cache, retries, timeouts — and emit
     one JSONL result line per job plus a metrics summary.
 
+``serve``
+    Run the network-facing ranking service (:mod:`repro.server`): a
+    threaded HTTP JSON API with backpressure, health/readiness probes,
+    Prometheus metrics and graceful drain on SIGTERM/SIGINT.
+
 ``reproduce``
     Regenerate a paper artifact's data series.
 
@@ -141,6 +146,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append the metrics snapshot as a final "
                             "repro.batch_metrics/1 JSONL line instead of a "
                             "human summary on stderr")
+
+    serve = commands.add_parser(
+        "serve", parents=[verbose_parent],
+        help="run the HTTP ranking service (POST /v1/rank, /v1/batch; "
+             "GET /healthz, /readyz, /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8080)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent job execution slots (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="max requests in flight before 429 "
+                            "backpressure (default 32)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request deadline "
+                            "(default: unbounded up to --max-timeout)")
+    serve.add_argument("--max-timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="ceiling on any per-request deadline and on "
+                            "queue waits (default 300)")
+    serve.add_argument("--max-body-bytes", type=int, default=8 * 1024 * 1024,
+                       help="reject larger request bodies with 413 "
+                            "(default 8 MiB)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist cached results as JSON files here")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="seconds to wait for in-flight requests on "
+                            "shutdown (default 10)")
 
     reproduce = commands.add_parser(
         "reproduce", parents=[verbose_parent],
@@ -307,6 +347,49 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .server import RankingServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_body_bytes=args.max_body_bytes,
+        default_timeout=args.timeout,
+        max_timeout=args.max_timeout,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        drain_grace=args.drain_grace,
+    )
+    server = RankingServer(config)
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    server.start()
+    # Operational one-liner on stderr (stdout stays clean/machine-free);
+    # `repro serve --port 0` consumers parse this line for the real port.
+    print(f"serving on {server.url} "
+          f"(workers={config.workers}, queue_depth={config.queue_depth})",
+          file=sys.stderr, flush=True)
+    # Event.wait in a short loop so signals interrupt promptly on every
+    # platform.
+    while not stop.wait(0.2):
+        pass
+    print("draining...", file=sys.stderr, flush=True)
+    drained = server.stop()
+    print("stopped" + ("" if drained else " (drain grace expired)"),
+          file=sys.stderr, flush=True)
+    return 0 if drained else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments import (
         export_records_csv,
@@ -376,6 +459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "simulate": _cmd_simulate,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "reproduce": _cmd_reproduce,
     }
     try:

@@ -1,0 +1,250 @@
+"""HTTP client for the :mod:`repro.server` ranking service.
+
+:class:`RankingClient` speaks the server's JSON API over
+:mod:`urllib.request` (no new dependencies) and reuses the batch
+subsystem's codecs and retry machinery: requests are built with
+:func:`~repro.service.jobs.job_to_payload`, responses decode through
+:func:`~repro.service.jobs.job_result_from_payload`, and transient
+failures — connection errors, 429 backpressure, 503 drain/saturation —
+are retried with :func:`~repro.service.retry.call_with_retry` under a
+:class:`~repro.service.retry.RetryPolicy`, honouring the server's
+``Retry-After`` hints through plain exponential backoff.
+
+>>> from repro.client import RankingClient  # doctest: +SKIP
+>>> client = RankingClient("http://127.0.0.1:8080")  # doctest: +SKIP
+>>> outcome = client.rank(scenario={"n_objects": 20,
+...                                 "selection_ratio": 0.5}, seed=7)  # doctest: +SKIP
+>>> outcome.result.ranking.order  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Iterable, List, Optional, Union
+
+from .config import PipelineConfig
+from .exceptions import ReproError
+from .service import (
+    JobResult,
+    RankingJob,
+    RetryExhaustedError,
+    RetryPolicy,
+    ScenarioSpec,
+    call_with_retry,
+    job_result_from_payload,
+    job_to_payload,
+)
+from .service.jobs import config_from_payload
+from .types import VoteSet
+
+
+class ServerError(ReproError):
+    """The server answered with a non-retriable error (4xx/5xx)."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServerUnavailableError(ServerError):
+    """A transient condition: connection failure, 429, or 503.
+
+    The client retries these under its :class:`RetryPolicy` before
+    letting the error escape.
+    """
+
+
+def _is_transient(error: BaseException) -> bool:
+    return isinstance(error, ServerUnavailableError)
+
+
+class RankingClient:
+    """Typed access to a running ranking server.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Socket-level timeout per HTTP attempt (seconds).
+    retry:
+        Backoff schedule for transient failures (pass
+        :data:`~repro.service.retry.NO_RETRY` to fail fast).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+        self._retry = retry or RetryPolicy()
+
+    # -- probes -------------------------------------------------------------
+
+    def health(self) -> bool:
+        """True when ``GET /healthz`` answers 200 (no retries)."""
+        try:
+            self._request("GET", "/healthz", retried=False)
+            return True
+        except ServerError:
+            return False
+
+    def ready(self) -> bool:
+        """True when ``GET /readyz`` answers 200 (no retries)."""
+        try:
+            self._request("GET", "/readyz", retried=False)
+            return True
+        except ServerError:
+            return False
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``."""
+        return self._request("GET", "/metrics").decode("utf-8")
+
+    # -- ranking ------------------------------------------------------------
+
+    def rank(
+        self,
+        *,
+        votes: Optional[VoteSet] = None,
+        scenario: Union[ScenarioSpec, Dict[str, object], None] = None,
+        config: Union[PipelineConfig, Dict[str, object], None] = None,
+        seed: Optional[int] = None,
+        job_id: str = "client",
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Aggregate one vote set (or simulate one scenario) remotely.
+
+        Exactly one of ``votes`` / ``scenario`` is required, mirroring
+        :class:`~repro.service.RankingJob`.  The returned
+        :class:`~repro.service.JobResult` carries the full decoded
+        inference result on success and the error string otherwise —
+        job-level failures (422/504) come back as results, not raises.
+        """
+        if isinstance(scenario, dict):
+            scenario = ScenarioSpec(**scenario)
+        if isinstance(config, dict):
+            config = config_from_payload(config)
+        job = RankingJob(
+            job_id=job_id,
+            votes=votes,
+            scenario=scenario,
+            config=config or PipelineConfig(),
+            seed=seed,
+        )
+        return self.rank_job(job, timeout=timeout)
+
+    def rank_job(self, job: RankingJob,
+                 timeout: Optional[float] = None) -> JobResult:
+        """Submit one prepared :class:`RankingJob` to ``POST /v1/rank``."""
+        payload: Dict[str, object] = job_to_payload(job)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        raw = self._request("POST", "/v1/rank", payload,
+                            ok_status=(200, 422, 504))
+        return job_result_from_payload(
+            json.loads(raw), source="/v1/rank response"
+        )
+
+    def batch(
+        self,
+        jobs: Iterable[RankingJob],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[JobResult]:
+        """Submit many jobs to ``POST /v1/batch``; results in job order."""
+        encoded = [job_to_payload(job) for job in jobs]
+        if not encoded:
+            return []
+        body: Dict[str, object] = {"jobs": encoded}
+        if timeout is not None:
+            body["timeout"] = timeout
+        raw = self._request("POST", "/v1/batch", body)
+        decoded = json.loads(raw)
+        return [
+            job_result_from_payload(item, source=f"/v1/batch results[{i}]")
+            for i, item in enumerate(decoded.get("results", []))
+        ]
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        *,
+        ok_status: tuple = (200,),
+        retried: bool = True,
+    ) -> bytes:
+        url = f"{self._base}{path}"
+
+        def attempt() -> bytes:
+            data = None
+            headers = {}
+            if payload is not None:
+                data = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self._timeout
+                ) as response:
+                    return response.read()
+            except urllib.error.HTTPError as error:
+                body = error.read()
+                if error.code in ok_status:
+                    # Job-level outcome (422 failed / 504 timed out):
+                    # the payload is the result, not a transport error.
+                    return body
+                detail = _error_detail(body) or error.reason
+                if error.code in (429, 503):
+                    raise ServerUnavailableError(
+                        f"{method} {path}: HTTP {error.code} ({detail})",
+                        status=error.code,
+                    ) from None
+                raise ServerError(
+                    f"{method} {path}: HTTP {error.code} ({detail})",
+                    status=error.code,
+                ) from None
+            except urllib.error.URLError as error:
+                raise ServerUnavailableError(
+                    f"{method} {path}: {error.reason}"
+                ) from None
+            except (ConnectionError, TimeoutError, OSError) as error:
+                raise ServerUnavailableError(
+                    f"{method} {path}: {error}"
+                ) from None
+
+        if not retried:
+            return attempt()
+        try:
+            outcome = call_with_retry(
+                attempt, self._retry,
+                is_transient=_is_transient, label=f"{method} {path}",
+            )
+        except RetryExhaustedError as error:
+            cause = error.__cause__
+            if isinstance(cause, ServerError):
+                raise cause
+            raise ServerUnavailableError(str(error)) from cause
+        return outcome.value
+
+
+def _error_detail(body: bytes) -> Optional[str]:
+    """Extract the server's ``{"error": ...}`` message when present."""
+    try:
+        decoded = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(decoded, dict) and isinstance(decoded.get("error"), str):
+        return decoded["error"]
+    return None

@@ -1,0 +1,693 @@
+"""Threaded HTTP JSON API fronting the batch ranking service.
+
+:class:`RankingServer` turns :class:`~repro.service.BatchExecutor` into
+a network service using only the standard library — one
+:class:`~http.server.ThreadingHTTPServer` whose handler threads run
+jobs directly, governed by two explicit limits:
+
+* an **admission gate** (:class:`AdmissionGate`) bounding how many
+  requests may be in flight at once (``queue_depth``); a saturated gate
+  answers ``429`` with ``Retry-After`` instead of queueing unboundedly;
+* **execution slots** (a semaphore of ``workers``) bounding how many
+  jobs actually run concurrently; admitted requests wait for a slot
+  only as long as their deadline allows, then give up with ``503``.
+
+Per-request deadlines (the optional ``timeout`` field of a request
+body, capped by ``max_timeout``, defaulting to ``default_timeout``)
+are mapped onto the executor's per-job timeout machinery: time spent
+waiting for a slot is subtracted from the budget the job may run for.
+
+Endpoints
+---------
+``POST /v1/rank``
+    One ``repro.job/1`` payload in, one ``repro.job_result/1`` payload
+    out.  ``schema`` and ``job_id`` may be omitted (filled in
+    server-side).  200 when the job succeeded, 422 when it failed
+    deterministically, 504 when it hit its deadline.
+``POST /v1/batch``
+    ``{"jobs": [<job payload>, ...]}`` (or a bare list) in; a results
+    array plus per-status counts and a metrics snapshot out (always
+    200 — per-job status travels in each result line).
+``GET /healthz``
+    Liveness: 200 whenever the process can answer at all.
+``GET /readyz``
+    Readiness: 200 while accepting work, 503 once draining.
+``GET /metrics``
+    Prometheus text exposition of the shared metrics registry plus
+    instantaneous server gauges.
+
+Graceful drain: :meth:`RankingServer.stop` (wired to SIGTERM/SIGINT by
+``repro serve``) flips readiness, rejects new work with 503, waits for
+in-flight requests to finish (bounded by ``drain_grace``), then closes
+the listener.  Cache spill files are written synchronously on job
+completion, so a drained server leaves a complete spill directory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import urlsplit
+
+from .._version import __version__
+from ..diagnostics import get_logger
+from ..exceptions import ConfigurationError, DataFormatError
+from ..service import (
+    BatchExecutor,
+    BatchReport,
+    JOB_SCHEMA,
+    JobResult,
+    JobStatus,
+    MetricsRegistry,
+    RankingJob,
+    ResultCache,
+    RetryPolicy,
+    job_from_payload,
+    job_result_to_payload,
+)
+from .prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+
+_log = get_logger("server")
+_access_log = get_logger("server.access")
+
+#: HTTP status for each terminal job state.
+_STATUS_CODES = {
+    JobStatus.SUCCEEDED: 200,
+    JobStatus.FAILED: 422,
+    JobStatus.TIMED_OUT: 504,
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`RankingServer`.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`RankingServer.port`).
+    workers:
+        Execution slots — jobs running concurrently across requests.
+    queue_depth:
+        Admission capacity — requests in flight (running *or* waiting
+        for a slot).  Beyond it new work is rejected with 429.
+    max_body_bytes:
+        Request bodies larger than this are rejected with 413 without
+        being read.
+    default_timeout:
+        Per-request deadline applied when the request names none;
+        ``None`` leaves such requests bounded only by ``max_timeout``'s
+        slot-wait cap.
+    max_timeout:
+        Hard ceiling on any per-request deadline and on the time a
+        request may wait for an execution slot.
+    max_batch_jobs:
+        Upper bound on jobs per ``/v1/batch`` request (413 beyond).
+    cache_dir:
+        Spill directory for the result cache (``None`` keeps the cache
+        memory-only).
+    cache_entries:
+        In-memory capacity of the result cache.
+    no_cache:
+        Disable result caching entirely.
+    drain_grace:
+        Seconds :meth:`RankingServer.stop` waits for in-flight requests
+        before closing anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 4
+    queue_depth: int = 32
+    max_body_bytes: int = 8 * 1024 * 1024
+    default_timeout: Optional[float] = None
+    max_timeout: float = 300.0
+    max_batch_jobs: int = 256
+    cache_dir: Optional[str] = None
+    cache_entries: int = 256
+    no_cache: bool = False
+    drain_grace: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_body_bytes < 1:
+            raise ConfigurationError("max_body_bytes must be >= 1")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ConfigurationError("default_timeout must be positive or None")
+        if self.max_timeout <= 0:
+            raise ConfigurationError("max_timeout must be positive")
+        if self.max_batch_jobs < 1:
+            raise ConfigurationError("max_batch_jobs must be >= 1")
+        if self.drain_grace <= 0:
+            raise ConfigurationError("drain_grace must be positive")
+
+
+class AdmissionGate:
+    """Bounded count of in-flight requests with an idle-wait for drains."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._cond = threading.Condition()
+        self._inflight = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def try_acquire(self) -> bool:
+        """Admit one request; False (without blocking) when saturated."""
+        with self._cond:
+            if self._inflight >= self._capacity:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Mark one admitted request finished."""
+        with self._cond:
+            if self._inflight <= 0:
+                raise ConfigurationError("release() without matching acquire")
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is in flight; False on timeout."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._inflight == 0, timeout)
+
+
+class _HttpError(Exception):
+    """An error response to send; never escapes the request handler."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        self.close = close
+
+
+class _Server(ThreadingHTTPServer):
+    # Handler threads are daemons and never joined on close: the
+    # admission gate is the real drain mechanism, and a request stuck
+    # past drain_grace must not wedge shutdown.
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+
+    ranking: "RankingServer"
+
+
+class RankingServer:
+    """The serving facade: owns the listener, executor plumbing, state.
+
+    Parameters
+    ----------
+    config:
+        Server tunables (defaults to :class:`ServerConfig`'s defaults).
+    cache:
+        Result cache override; built from ``config`` when omitted.
+    metrics:
+        Registry override (shared with any embedding application);
+        a fresh one is created when omitted.
+    retry:
+        Retry schedule for transient job failures.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self._config = config or ServerConfig()
+        self._metrics = metrics or MetricsRegistry()
+        self._retry = retry or RetryPolicy()
+        if cache is not None:
+            self._cache: Optional[ResultCache] = cache
+        elif self._config.no_cache:
+            self._cache = None
+        else:
+            self._cache = ResultCache(
+                max_entries=self._config.cache_entries,
+                persist_dir=self._config.cache_dir,
+            )
+        self._gate = AdmissionGate(self._config.queue_depth)
+        self._slots = threading.Semaphore(self._config.workers)
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._request_ids = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+        self._httpd = _Server(
+            (self._config.host, self._config.port), _Handler
+        )
+        self._httpd.ranking = self
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, even when configured as 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def ready(self) -> bool:
+        """True while the server accepts new work."""
+        return not self._draining.is_set() and not self._stopped.is_set()
+
+    @property
+    def inflight(self) -> int:
+        return self._gate.inflight
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve on a background thread (idempotent once started)."""
+        if self._stopped.is_set():
+            raise ConfigurationError("server already stopped")
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-server",
+        )
+        self._thread.start()
+        _log.info("serving on %s (workers=%d, queue_depth=%d)",
+                  self.url, self._config.workers, self._config.queue_depth)
+
+    def stop(self, drain_timeout: Optional[float] = None) -> bool:
+        """Graceful drain, then close the listener.
+
+        New work is rejected with 503 immediately; in-flight requests
+        get up to ``drain_timeout`` (default ``config.drain_grace``)
+        seconds to finish.  Cache spills are written synchronously as
+        each job completes, so once drained the spill directory is
+        complete — there is nothing left to flush.
+
+        Returns True when everything in flight finished, False when the
+        grace period expired with requests still running (the listener
+        closes regardless; stragglers run on abandoned daemon threads).
+        """
+        if self._stopped.is_set():
+            return True
+        self._draining.set()
+        grace = drain_timeout if drain_timeout is not None \
+            else self._config.drain_grace
+        drained = self._gate.wait_idle(timeout=grace)
+        if not drained:
+            _log.warning("drain grace of %.1fs expired with %d request(s) "
+                         "still in flight", grace, self._gate.inflight)
+        self._stopped.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        _log.info("server stopped (drained=%s)", drained)
+        return drained
+
+    def __enter__(self) -> "RankingServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self) -> None:
+        """Claim an admission slot or raise the matching backpressure error."""
+        if not self.ready:
+            self._metrics.increment("http.rejected.draining")
+            raise _HttpError(503, "server is draining",
+                             headers={"Retry-After": "1"})
+        if not self._gate.try_acquire():
+            self._metrics.increment("http.rejected.saturated")
+            raise _HttpError(
+                429,
+                f"admission queue full ({self._gate.capacity} in flight)",
+                headers={"Retry-After": "1"},
+            )
+
+    def release(self) -> None:
+        self._gate.release()
+
+    # -- request decoding ---------------------------------------------------
+
+    def resolve_timeout(self, requested: object) -> Optional[float]:
+        """Validate/cap a request deadline; fall back to the default."""
+        if requested is None:
+            timeout = self._config.default_timeout
+        else:
+            if isinstance(requested, bool) or \
+                    not isinstance(requested, (int, float)):
+                raise _HttpError(400, "timeout must be a number of seconds")
+            timeout = float(requested)
+            if timeout <= 0:
+                raise _HttpError(400, "timeout must be positive")
+        if timeout is None:
+            return None
+        return min(timeout, self._config.max_timeout)
+
+    def decode_job(self, payload: object, source: str = "request") -> RankingJob:
+        """Decode one job payload, filling in ``schema`` / ``job_id``."""
+        if not isinstance(payload, dict):
+            raise _HttpError(400, f"{source}: job must be a JSON object")
+        payload = dict(payload)
+        payload.pop("timeout", None)
+        payload.setdefault("schema", JOB_SCHEMA)
+        payload.setdefault("job_id", f"req-{next(self._request_ids)}")
+        try:
+            return job_from_payload(payload, source=source)
+        except DataFormatError as error:
+            raise _HttpError(400, str(error)) from None
+
+    # -- execution ----------------------------------------------------------
+
+    def execute_job(self, job: RankingJob,
+                    timeout: Optional[float]) -> JobResult:
+        """Run one admitted job inside an execution slot."""
+        report = self._run_in_slot([job], timeout, workers=1)
+        return report.results[0]
+
+    def execute_batch(self, jobs: List[RankingJob],
+                      timeout: Optional[float]) -> BatchReport:
+        """Run an admitted batch (one admission slot, one execution slot;
+        the batch parallelises internally over ``config.workers``)."""
+        return self._run_in_slot(
+            jobs, timeout, workers=min(self._config.workers, len(jobs))
+        )
+
+    def _run_in_slot(self, jobs: List[RankingJob],
+                     timeout: Optional[float], workers: int) -> BatchReport:
+        wait_budget = timeout if timeout is not None \
+            else self._config.max_timeout
+        wait_start = time.monotonic()
+        if not self._slots.acquire(timeout=wait_budget):
+            self._metrics.increment("http.rejected.slot_timeout")
+            raise _HttpError(503, "no execution slot within deadline",
+                             headers={"Retry-After": "1"})
+        try:
+            remaining = None
+            if timeout is not None:
+                remaining = timeout - (time.monotonic() - wait_start)
+                if remaining <= 1e-3:
+                    self._metrics.increment("http.rejected.slot_timeout")
+                    raise _HttpError(503, "deadline exhausted while queued",
+                                     headers={"Retry-After": "1"})
+            executor = BatchExecutor(
+                workers,
+                cache=self._cache,
+                retry=self._retry,
+                timeout=remaining,
+                metrics=self._metrics,
+            )
+            return executor.run(jobs)
+        finally:
+            self._slots.release()
+
+    # -- observability ------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``."""
+        gauges = {
+            "server_inflight": float(self._gate.inflight),
+            "server_queue_capacity": float(self._gate.capacity),
+            "server_workers": float(self._config.workers),
+            "server_draining": 0.0 if self.ready else 1.0,
+        }
+        return render_prometheus(self._metrics.snapshot(), gauges=gauges)
+
+    def record_http(self, route: str, status: int, seconds: float) -> None:
+        self._metrics.increment("http.requests")
+        self._metrics.increment(f"http.requests.{route}")
+        self._metrics.increment(f"http.responses.{status}")
+        self._metrics.observe("http.request.seconds", seconds)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`RankingServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-server/{__version__}"
+
+    # set by _send_bytes for the access log
+    _status = 0
+    _sent_bytes = 0
+
+    @property
+    def ranking(self) -> RankingServer:
+        return self.server.ranking  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: object) -> None:
+        # BaseHTTPRequestHandler writes to stderr by default; route its
+        # chatter to diagnostics instead (the structured access line is
+        # emitted separately by _dispatch).
+        _access_log.debug(format, *args)
+
+    # -- routing ------------------------------------------------------------
+
+    _ROUTES = {
+        ("GET", "/healthz"): "healthz",
+        ("GET", "/readyz"): "readyz",
+        ("GET", "/metrics"): "metrics",
+        ("POST", "/v1/rank"): "rank",
+        ("POST", "/v1/batch"): "batch",
+    }
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        path = urlsplit(self.path).path
+        route = self._ROUTES.get((method, path), "unrouted")
+        try:
+            if route == "unrouted":
+                known_paths = {p for _, p in self._ROUTES}
+                if path in known_paths:
+                    raise _HttpError(405, f"{method} not allowed for {path}",
+                                     close=True)
+                raise _HttpError(404, f"no such endpoint: {path}")
+            getattr(self, f"_handle_{route}")()
+        except _HttpError as error:
+            self._send_json(
+                error.status,
+                {"error": error.message, "status": error.status},
+                extra_headers=error.headers,
+                close=error.close,
+            )
+        except Exception as error:  # noqa: BLE001 — isolation boundary
+            _log.exception("unhandled error serving %s %s", method, path)
+            self._send_json(
+                500,
+                {"error": f"{type(error).__name__}: {error}", "status": 500},
+                close=True,
+            )
+        seconds = time.perf_counter() - start
+        self.ranking.record_http(route, self._status, seconds)
+        _access_log.info(
+            '%s "%s %s" %d %d %.6f',
+            self.client_address[0], method, self.path,
+            self._status, self._sent_bytes, seconds,
+        )
+
+    # -- GET endpoints ------------------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        self._send_json(200, {"status": "ok", "version": __version__})
+
+    def _handle_readyz(self) -> None:
+        if self.ranking.ready:
+            self._send_json(200, {"status": "ready"})
+        else:
+            self._send_json(503, {"status": "draining"},
+                            extra_headers={"Retry-After": "1"})
+
+    def _handle_metrics(self) -> None:
+        self._send_text(200, self.ranking.render_metrics(),
+                        PROMETHEUS_CONTENT_TYPE)
+
+    # -- POST endpoints -----------------------------------------------------
+
+    def _handle_rank(self) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            payload = self._read_json_body()
+            if not isinstance(payload, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+            timeout = server.resolve_timeout(payload.get("timeout"))
+            job = server.decode_job(payload)
+            outcome = server.execute_job(job, timeout)
+            self._send_json(_STATUS_CODES[outcome.status],
+                            job_result_to_payload(outcome))
+        finally:
+            server.release()
+
+    def _handle_batch(self) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            payload = self._read_json_body()
+            if isinstance(payload, dict):
+                raw_jobs = payload.get("jobs")
+                timeout = server.resolve_timeout(payload.get("timeout"))
+            else:
+                raw_jobs = payload
+                timeout = server.resolve_timeout(None)
+            if not isinstance(raw_jobs, list) or not raw_jobs:
+                raise _HttpError(400, "batch body needs a non-empty "
+                                      "\"jobs\" array")
+            limit = server.config.max_batch_jobs
+            if len(raw_jobs) > limit:
+                raise _HttpError(
+                    413, f"batch of {len(raw_jobs)} jobs exceeds the "
+                         f"limit of {limit}", close=True,
+                )
+            jobs = [
+                server.decode_job(item, source=f"jobs[{index}]")
+                for index, item in enumerate(raw_jobs)
+            ]
+            report = server.execute_batch(jobs, timeout)
+            self._send_json(200, {
+                "results": [job_result_to_payload(r) for r in report.results],
+                "succeeded": len(report.succeeded),
+                "failed": len(report.failed),
+                "timed_out": len(report.timed_out),
+                "metrics": report.metrics,
+            })
+        finally:
+            server.release()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _read_json_body(self) -> object:
+        length_text = self.headers.get("Content-Length")
+        if length_text is None:
+            raise _HttpError(411, "Content-Length header required", close=True)
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length",
+                             close=True) from None
+        if length < 0:
+            raise _HttpError(400, "invalid Content-Length", close=True)
+        limit = self.ranking.config.max_body_bytes
+        if length > limit:
+            # Discard (a bounded amount of) the refused body so
+            # well-behaved clients receive the 413 instead of a broken
+            # pipe mid-upload; anything beyond the drain budget is cut
+            # off by closing the connection.
+            self._drain_body(length, budget=max(4 * limit, 1 << 20))
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the limit "
+                     f"of {limit} bytes", close=True,
+            )
+        raw = self.rfile.read(length)
+        if len(raw) != length:
+            raise _HttpError(400, "truncated request body", close=True)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"invalid JSON body ({error})") from None
+
+    def _drain_body(self, length: int, *, budget: int) -> None:
+        remaining = min(length, budget)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, body, "application/json",
+                         extra_headers=extra_headers, close=close)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            if close:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-response; nothing sensible to do.
+            self.close_connection = True
+        self._status = status
+        self._sent_bytes = len(body)

@@ -1,0 +1,106 @@
+"""Prometheus text exposition for :class:`~repro.service.MetricsRegistry`.
+
+The registry's JSON snapshot is rendered into the Prometheus text-based
+exposition format (version 0.0.4) so any standard scraper can consume
+``GET /metrics`` without the server growing a client-library
+dependency:
+
+* counters become ``<prefix>_<name>_total`` ``counter`` samples;
+* timers become ``summary`` families — ``_count`` / ``_sum`` plus
+  ``{quantile="0.5|0.95|0.99"}`` samples fed by the registry's bounded
+  reservoirs — named ``<prefix>_<name>`` (timer names already end in
+  ``seconds`` by convention);
+* derived ratios and caller-supplied instantaneous values (queue depth,
+  in-flight requests) become ``gauge`` samples.
+
+Dots in registry names map to underscores; any other character invalid
+in a Prometheus metric name is likewise replaced.  Families are emitted
+in sorted order so the output is deterministic and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+#: Content-Type the exposition format mandates for scrapes.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Maps the registry's ``pNN`` percentile keys to quantile label values.
+_QUANTILE_KEYS = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a registry name into a valid Prometheus metric name."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, object],
+    *,
+    prefix: str = "repro",
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render one registry snapshot as Prometheus exposition text.
+
+    Parameters
+    ----------
+    snapshot:
+        A :meth:`~repro.service.MetricsRegistry.snapshot` dict
+        (``counters`` / ``timers`` / ``derived`` keys; missing keys are
+        tolerated and render nothing).
+    prefix:
+        Namespace prepended to every family name.
+    gauges:
+        Extra instantaneous values (server in-flight count, queue
+        capacity, ...) rendered as ``gauge`` families.
+    """
+    lines: List[str] = []
+
+    counters = snapshot.get("counters", {})
+    if isinstance(counters, Mapping):
+        for name in sorted(counters):
+            metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(counters[name])}")
+
+    timers = snapshot.get("timers", {})
+    if isinstance(timers, Mapping):
+        for name in sorted(timers):
+            stats = timers[name]
+            if not isinstance(stats, Mapping):
+                continue
+            metric = f"{prefix}_{sanitize_metric_name(name)}"
+            lines.append(f"# TYPE {metric} summary")
+            for key, quantile in _QUANTILE_KEYS.items():
+                if key in stats:
+                    lines.append(
+                        f'{metric}{{quantile="{quantile}"}} '
+                        f"{_format_value(stats[key])}"
+                    )
+            lines.append(f"{metric}_sum {_format_value(stats.get('total', 0.0))}")
+            lines.append(f"{metric}_count {_format_value(stats.get('count', 0))}")
+
+    gauge_families: Dict[str, float] = {}
+    derived = snapshot.get("derived", {})
+    if isinstance(derived, Mapping):
+        gauge_families.update(derived)
+    if gauges:
+        gauge_families.update(gauges)
+    for name in sorted(gauge_families):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge_families[name])}")
+
+    return "\n".join(lines) + "\n"

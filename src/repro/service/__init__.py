@@ -36,6 +36,7 @@ from .jobs import (
     dump_results_jsonl,
     iter_jobs_jsonl,
     job_from_payload,
+    job_result_from_payload,
     job_result_to_payload,
     job_to_payload,
     load_jobs_jsonl,
@@ -76,6 +77,7 @@ __all__ = [
     "fingerprint_job",
     "iter_jobs_jsonl",
     "job_from_payload",
+    "job_result_from_payload",
     "job_result_to_payload",
     "job_to_payload",
     "load_jobs_jsonl",

@@ -77,8 +77,8 @@ class ResultCache:
         Optional directory for JSON spill files (created on demand).
         Every stored entry is written as ``<key>.json`` in the
         :mod:`repro.io` schema; in-memory misses fall back to the
-        directory, and a corrupt or unreadable spill file is treated as
-        a miss (logged), never an error.
+        directory, and a corrupt or truncated spill file is logged,
+        deleted and treated as a miss — never an error.
     """
 
     def __init__(
@@ -98,6 +98,7 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._disk_loads = 0
+        self._corrupt_dropped = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -165,6 +166,7 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "disk_loads": self._disk_loads,
+                "corrupt_dropped": self._corrupt_dropped,
                 "size": len(self._entries),
             }
 
@@ -193,6 +195,17 @@ class ResultCache:
         try:
             return load_result(path)
         except DataFormatError as error:
+            # A spill file that exists but does not decode is corrupt or
+            # truncated (interrupted write, disk fault, schema drift): it
+            # can never become readable again, so drop it — keeping it
+            # would re-pay the failed parse on every future lookup.
             if path.exists():
-                _log.warning("ignoring bad cache file %s: %s", path, error)
+                _log.warning("dropping corrupt cache file %s: %s", path, error)
+                with self._lock:
+                    self._corrupt_dropped += 1
+                try:
+                    path.unlink()
+                except OSError as unlink_error:
+                    _log.warning("could not delete corrupt cache file %s: %s",
+                                 path, unlink_error)
             return None

@@ -38,7 +38,7 @@ from ..config import (
     TruthDiscoveryConfig,
 )
 from ..exceptions import ConfigurationError, DataFormatError
-from ..io import result_to_payload
+from ..io import result_from_payload, result_to_payload
 from ..types import InferenceResult, Vote, VoteSet
 
 #: Schema tag for one job line.
@@ -315,6 +315,59 @@ def job_result_to_payload(outcome: JobResult) -> Dict[str, object]:
             if isinstance(value, (int, float, str, bool, type(None)))
         }
     return payload
+
+
+def job_result_from_payload(
+    payload: object, source: str = "<payload>"
+) -> JobResult:
+    """Decode a dict produced by :func:`job_result_to_payload`.
+
+    The inverse codec lets result streams — JSONL batch output, HTTP
+    responses from :mod:`repro.server` — round-trip back into
+    :class:`JobResult` objects (including the full
+    :class:`~repro.types.InferenceResult` when one was inlined).
+
+    Raises
+    ------
+    DataFormatError
+        On a wrong/missing schema tag or any malformed field.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != JOB_RESULT_SCHEMA:
+        raise DataFormatError(
+            f"{source}: expected schema {JOB_RESULT_SCHEMA!r}, got "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r}"
+        )
+    job_id = payload.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise DataFormatError(f"{source}: job_id must be a non-empty string")
+    try:
+        status = JobStatus(payload.get("status"))
+    except ValueError:
+        raise DataFormatError(
+            f"{source}: unknown status {payload.get('status')!r}"
+        ) from None
+    result: Optional[InferenceResult] = None
+    if "result" in payload:
+        result = result_from_payload(payload["result"], source=source)
+    error = payload.get("error")
+    if error is not None and not isinstance(error, str):
+        raise DataFormatError(f"{source}: error must be a string")
+    extras = payload.get("extras", {})
+    if not isinstance(extras, dict):
+        raise DataFormatError(f"{source}: extras must be an object")
+    try:
+        return JobResult(
+            job_id=job_id,
+            status=status,
+            result=result,
+            error=error,
+            attempts=int(payload.get("attempts", 0)),
+            from_cache=bool(payload.get("from_cache", False)),
+            seconds=float(payload.get("seconds", 0.0)),
+            extras=dict(extras),
+        )
+    except (TypeError, ValueError) as err:
+        raise DataFormatError(f"{source}: malformed field ({err})") from None
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+"""CLI tests for ``repro serve``: real process, real signals."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from queue import Empty, Queue
+from threading import Thread
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _spawn_server(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", *extra_args],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _await_url(process, timeout=60.0):
+    """Read stderr until the 'serving on ...' line; returns the URL."""
+    lines = Queue()
+
+    def pump():
+        for line in process.stderr:
+            lines.put(line)
+
+    Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + timeout
+    seen = []
+    while time.monotonic() < deadline:
+        try:
+            line = lines.get(timeout=0.5)
+        except Empty:
+            if process.poll() is not None:
+                break
+            continue
+        seen.append(line)
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    pytest.fail(f"server never announced its address; stderr: {seen!r}")
+
+
+@pytest.fixture
+def serve_process():
+    process = _spawn_server()
+    yield process
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+
+
+class TestServeCommand:
+    def test_sigterm_drains_and_exits_zero(self, serve_process):
+        url = _await_url(serve_process)
+
+        # The advertised endpoint answers a real round trip.
+        body = json.dumps({
+            "job_id": "cli-e2e", "seed": 5,
+            "scenario": {"n_objects": 8, "selection_ratio": 0.5,
+                         "n_workers": 6, "workers_per_task": 5},
+        }).encode()
+        request = urllib.request.Request(
+            url + "/v1/rank", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "succeeded"
+        assert sorted(payload["ranking"]) == list(range(8))
+
+        serve_process.send_signal(signal.SIGTERM)
+        assert serve_process.wait(timeout=60) == 0
+
+    def test_sigint_also_stops_cleanly(self, serve_process):
+        _await_url(serve_process)
+        serve_process.send_signal(signal.SIGINT)
+        assert serve_process.wait(timeout=60) == 0
+
+    def test_bad_flags_exit_2(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--workers", "0",
+             "--port", "0"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert completed.returncode == 2
+        assert "workers" in completed.stderr

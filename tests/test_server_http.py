@@ -1,0 +1,446 @@
+"""End-to-end tests for the HTTP ranking service (ephemeral ports)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.exceptions import ConfigurationError
+from repro.server import AdmissionGate, RankingServer, ServerConfig
+from repro.service import BatchExecutor, JobStatus
+from repro.session import rank_with_crowd
+from repro.types import InferenceResult, Ranking
+from repro.workers import QualityLevel
+
+
+def _get(url):
+    """GET returning (status, parsed-or-text body)."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            raw = response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+    try:
+        return status, json.loads(raw)
+    except json.JSONDecodeError:
+        return status, raw.decode("utf-8")
+
+
+def _post(url, body, timeout=30):
+    """POST raw bytes (or a JSON-able object); returns (status, body)."""
+    if not isinstance(body, (bytes, bytearray)):
+        body = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+SCENARIO_REQUEST = {
+    "job_id": "e2e-scenario",
+    "seed": 7,
+    "scenario": {"n_objects": 12, "selection_ratio": 0.5,
+                 "n_workers": 10, "workers_per_task": 5},
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    ranking_server = RankingServer(ServerConfig(
+        port=0, workers=2, queue_depth=4, default_timeout=60.0,
+        cache_dir=str(tmp_path / "cache"),
+    ))
+    ranking_server.start()
+    yield ranking_server
+    ranking_server.stop(drain_timeout=5.0)
+
+
+class TestProbes:
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_readyz_while_serving(self, server):
+        status, body = _get(server.url + "/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+
+    def test_unknown_path_404(self, server):
+        status, body = _get(server.url + "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, server):
+        status, body = _get(server.url + "/v1/rank")
+        assert status == 405
+
+
+class TestRank:
+    def test_scenario_round_trip_matches_rank_with_crowd(self, server):
+        status, body = _post(server.url + "/v1/rank", SCENARIO_REQUEST)
+        assert status == 200
+        assert body["status"] == "succeeded"
+
+        # Mirror BatchExecutor._run_scenario exactly: one generator,
+        # seeded with the job's seed, threads scenario + session.
+        spec = SCENARIO_REQUEST["scenario"]
+        rng = np.random.default_rng(SCENARIO_REQUEST["seed"])
+        scenario = make_scenario(
+            spec["n_objects"], spec["selection_ratio"],
+            n_workers=spec["n_workers"],
+            workers_per_task=spec["workers_per_task"],
+            quality="gaussian", level=QualityLevel("medium"), rng=rng,
+        )
+        outcome = rank_with_crowd(
+            scenario.ground_truth, scenario.pool,
+            selection_ratio=spec["selection_ratio"],
+            workers_per_task=spec["workers_per_task"],
+            config=PipelineConfig(), rng=rng,
+        )
+        assert body["ranking"] == list(outcome.result.ranking.order)
+        assert body["extras"]["accuracy"] == pytest.approx(outcome.accuracy)
+
+    def test_votes_round_trip_is_deterministic(self, server):
+        request = {
+            "job_id": "e2e-votes",
+            "seed": 3,
+            "votes": {
+                "n_objects": 4,
+                "votes": [[0, 0, 1], [1, 0, 1], [0, 1, 2], [1, 1, 2],
+                          [0, 2, 3], [1, 2, 3], [0, 0, 3], [1, 0, 3]],
+            },
+        }
+        first_status, first = _post(server.url + "/v1/rank", request)
+        assert first_status == 200
+        assert sorted(first["ranking"]) == [0, 1, 2, 3]
+
+        # The same work resubmitted under another id hits the cache and
+        # returns the identical ranking.
+        again = dict(request, job_id="other-id")
+        second_status, second = _post(server.url + "/v1/rank", again)
+        assert second_status == 200
+        assert second["ranking"] == first["ranking"]
+        assert second["from_cache"] is True
+        assert second["attempts"] == 0
+
+    def test_schema_and_job_id_are_optional(self, server):
+        request = dict(SCENARIO_REQUEST)
+        request.pop("job_id")
+        status, body = _post(server.url + "/v1/rank", request)
+        assert status == 200
+        assert body["job_id"].startswith("req-")
+
+    def test_malformed_json_is_400(self, server):
+        status, body = _post(server.url + "/v1/rank", b"{not json")
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_bad_job_payload_is_400(self, server):
+        status, body = _post(server.url + "/v1/rank",
+                             {"job_id": "x", "seed": 1,
+                              "config": {"unknown_knob": 1},
+                              "scenario": {"n_objects": 5,
+                                           "selection_ratio": 0.5}})
+        assert status == 400
+        assert "unknown config field" in body["error"]
+
+    def test_non_object_body_is_400(self, server):
+        status, body = _post(server.url + "/v1/rank", [1, 2, 3])
+        assert status == 400
+
+    def test_invalid_timeout_is_400(self, server):
+        status, body = _post(server.url + "/v1/rank",
+                             dict(SCENARIO_REQUEST, timeout=-1))
+        assert status == 400
+        assert "timeout" in body["error"]
+
+    def test_failed_job_is_422(self, server, monkeypatch):
+        def explode(self, job):
+            raise ValueError("poisoned")
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", explode)
+        status, body = _post(server.url + "/v1/rank", SCENARIO_REQUEST)
+        assert status == 422
+        assert body["status"] == "failed"
+        assert "poisoned" in body["error"]
+
+    def test_deadline_maps_to_504(self, server, monkeypatch):
+        def crawl(self, job):
+            time.sleep(5.0)
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", crawl)
+        status, body = _post(server.url + "/v1/rank",
+                             dict(SCENARIO_REQUEST, timeout=0.1))
+        assert status == 504
+        assert body["status"] == "timed_out"
+
+
+class TestBatch:
+    def test_batch_round_trip(self, server):
+        jobs = [
+            {"job_id": f"b{i}", "seed": i,
+             "scenario": {"n_objects": 10, "selection_ratio": 0.5,
+                          "n_workers": 8, "workers_per_task": 5}}
+            for i in range(3)
+        ]
+        status, body = _post(server.url + "/v1/batch", {"jobs": jobs})
+        assert status == 200
+        assert body["succeeded"] == 3
+        assert [r["job_id"] for r in body["results"]] == ["b0", "b1", "b2"]
+        assert all(r["status"] == "succeeded" for r in body["results"])
+        assert "timers" in body["metrics"]
+
+    def test_bare_list_body_is_accepted(self, server):
+        status, body = _post(server.url + "/v1/batch", [SCENARIO_REQUEST])
+        assert status == 200
+        assert body["succeeded"] == 1
+
+    def test_empty_batch_is_400(self, server):
+        status, body = _post(server.url + "/v1/batch", {"jobs": []})
+        assert status == 400
+
+    def test_bad_job_names_its_index(self, server):
+        status, body = _post(server.url + "/v1/batch",
+                             {"jobs": [SCENARIO_REQUEST, {"job_id": ""}]})
+        assert status == 400
+        assert "jobs[1]" in body["error"]
+
+
+class TestLimits:
+    def test_oversized_body_is_413(self, tmp_path):
+        with RankingServer(ServerConfig(port=0, max_body_bytes=512,
+                                        no_cache=True)) as server:
+            status, body = _post(server.url + "/v1/rank",
+                                 b"x" * 2048)
+            assert status == 413
+            assert "exceeds the limit" in body["error"]
+
+    def test_oversized_batch_is_413(self, tmp_path):
+        with RankingServer(ServerConfig(port=0, max_batch_jobs=2,
+                                        no_cache=True)) as server:
+            status, body = _post(server.url + "/v1/batch",
+                                 {"jobs": [SCENARIO_REQUEST] * 3})
+            assert status == 413
+            assert "exceeds the limit" in body["error"]
+
+
+class TestBackpressure:
+    def test_saturated_queue_yields_429_never_a_hang(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocked(self, job):
+            started.set()
+            assert release.wait(timeout=30)
+            return (
+                InferenceResult(ranking=Ranking([0, 1]), log_preference=0.0),
+                {},
+            )
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", blocked)
+        with RankingServer(ServerConfig(port=0, workers=1, queue_depth=1,
+                                        no_cache=True)) as server:
+            slow_result = {}
+
+            def slow_request():
+                slow_result["response"] = _post(
+                    server.url + "/v1/rank",
+                    {"job_id": "slow", "seed": 1,
+                     "votes": {"n_objects": 2, "votes": [[0, 0, 1]]}},
+                )
+
+            thread = threading.Thread(target=slow_request)
+            thread.start()
+            assert started.wait(timeout=10)
+
+            # The gate (capacity 1) is now full: the next request must
+            # be rejected immediately with 429 + Retry-After.
+            begin = time.monotonic()
+            status, body = _post(server.url + "/v1/rank", SCENARIO_REQUEST)
+            assert status == 429
+            assert time.monotonic() - begin < 5.0
+            assert "queue full" in body["error"]
+            assert server.metrics.counter("http.rejected.saturated") == 1
+
+            release.set()
+            thread.join(timeout=30)
+            status, body = slow_result["response"]
+            assert status == 200
+
+    def test_slot_wait_past_deadline_yields_503(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocked(self, job):
+            started.set()
+            assert release.wait(timeout=30)
+            return (
+                InferenceResult(ranking=Ranking([0, 1]), log_preference=0.0),
+                {},
+            )
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", blocked)
+        try:
+            # workers=1 but queue_depth=2: the second request is admitted
+            # yet cannot get an execution slot before its deadline.
+            with RankingServer(ServerConfig(port=0, workers=1, queue_depth=2,
+                                            no_cache=True)) as server:
+                background = threading.Thread(target=_post, args=(
+                    server.url + "/v1/rank",
+                    {"job_id": "slow", "seed": 1,
+                     "votes": {"n_objects": 2, "votes": [[0, 0, 1]]}},
+                ))
+                background.start()
+                assert started.wait(timeout=10)
+                status, body = _post(server.url + "/v1/rank",
+                                     dict(SCENARIO_REQUEST, timeout=0.2))
+                assert status == 503
+                release.set()
+                background.join(timeout=30)
+        finally:
+            release.set()
+
+
+class TestGracefulDrain:
+    def test_stop_finishes_inflight_and_rejects_new_work(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocked(self, job):
+            started.set()
+            assert release.wait(timeout=30)
+            return (
+                InferenceResult(ranking=Ranking([0, 1]), log_preference=0.0),
+                {},
+            )
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", blocked)
+        server = RankingServer(ServerConfig(port=0, workers=1, queue_depth=4,
+                                            no_cache=True))
+        server.start()
+        inflight = {}
+
+        def slow_request():
+            inflight["response"] = _post(
+                server.url + "/v1/rank",
+                {"job_id": "slow", "seed": 1,
+                 "votes": {"n_objects": 2, "votes": [[0, 0, 1]]}},
+            )
+
+        request_thread = threading.Thread(target=slow_request)
+        request_thread.start()
+        assert started.wait(timeout=10)
+
+        stop_outcome = {}
+        stop_thread = threading.Thread(
+            target=lambda: stop_outcome.update(
+                drained=server.stop(drain_timeout=30)
+            )
+        )
+        stop_thread.start()
+
+        # Draining: readiness flips and new work is refused with 503.
+        deadline = time.monotonic() + 10
+        while server.ready and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not server.ready
+        status, body = _get(server.url + "/readyz")
+        assert status == 503
+        status, body = _post(server.url + "/v1/rank", SCENARIO_REQUEST)
+        assert status == 503
+        assert "draining" in body["error"]
+
+        # The in-flight request still completes, then stop() returns.
+        release.set()
+        request_thread.join(timeout=30)
+        stop_thread.join(timeout=30)
+        assert stop_outcome["drained"] is True
+        assert inflight["response"][0] == 200
+
+    def test_stop_is_idempotent(self):
+        server = RankingServer(ServerConfig(port=0, no_cache=True))
+        server.start()
+        assert server.stop() is True
+        assert server.stop() is True
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, server):
+        _post(server.url + "/v1/rank", SCENARIO_REQUEST)
+        status, text = _get(server.url + "/metrics")
+        assert status == 200
+        assert isinstance(text, str)
+        assert "# TYPE repro_jobs_succeeded_total counter" in text
+        assert "repro_jobs_succeeded_total 1" in text
+        # p95 latency present as a summary quantile.
+        assert 'repro_job_seconds{quantile="0.95"}' in text
+        assert 'repro_http_request_seconds{quantile="0.95"}' in text
+        assert "repro_job_seconds_count" in text
+        # Server gauges.
+        assert "repro_server_queue_capacity 4.0" in text
+        assert "repro_server_draining 0.0" in text
+
+    def test_http_counters_accumulate(self, server):
+        for _ in range(3):
+            _get(server.url + "/healthz")
+        status, text = _get(server.url + "/metrics")
+        assert "repro_http_requests_healthz_total 3" in text
+
+
+class TestAdmissionGate:
+    def test_capacity_enforced(self):
+        gate = AdmissionGate(2)
+        assert gate.try_acquire()
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        assert gate.try_acquire()
+
+    def test_release_without_acquire_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionGate(1).release()
+
+    def test_wait_idle(self):
+        gate = AdmissionGate(1)
+        assert gate.wait_idle(timeout=0.1)
+        gate.try_acquire()
+        assert not gate.wait_idle(timeout=0.05)
+        gate.release()
+        assert gate.wait_idle(timeout=1.0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionGate(0)
+
+
+class TestServerConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"queue_depth": 0},
+        {"max_body_bytes": 0},
+        {"default_timeout": -1.0},
+        {"max_timeout": 0.0},
+        {"max_batch_jobs": 0},
+        {"drain_grace": 0.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(**kwargs)
+
+    def test_status_enum_covers_http_mapping(self):
+        from repro.server.app import _STATUS_CODES
+
+        assert set(_STATUS_CODES) == set(JobStatus)

@@ -1,0 +1,71 @@
+"""Unit tests for the Prometheus text exposition renderer."""
+
+from repro.server import render_prometheus, sanitize_metric_name
+from repro.service import MetricsRegistry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("jobs.succeeded") == "jobs_succeeded"
+
+    def test_invalid_characters_replaced(self):
+        assert sanitize_metric_name("http.responses.200") == \
+            "http_responses_200"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("200.ok") == "_200_ok"
+
+    def test_empty_name_survives(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRender:
+    def test_counters_render_with_type_lines(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs.succeeded", 5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_jobs_succeeded_total counter" in text
+        assert "repro_jobs_succeeded_total 5" in text
+        assert text.endswith("\n")
+
+    def test_timers_render_as_summaries_with_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.observe("job.seconds", value)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_job_seconds summary" in text
+        assert 'repro_job_seconds{quantile="0.5"} 0.2' in text
+        assert 'repro_job_seconds{quantile="0.95"} 0.4' in text
+        assert 'repro_job_seconds{quantile="0.99"} 0.4' in text
+        assert "repro_job_seconds_sum 1.0" in text
+        assert "repro_job_seconds_count 4" in text
+
+    def test_derived_and_gauges_render_as_gauges(self):
+        registry = MetricsRegistry()
+        registry.increment("cache.hits", 3)
+        registry.increment("cache.misses", 1)
+        text = render_prometheus(
+            registry.snapshot(), gauges={"server_inflight": 2.0}
+        )
+        assert "# TYPE repro_cache_hit_rate gauge" in text
+        assert "repro_cache_hit_rate 0.75" in text
+        assert "# TYPE repro_server_inflight gauge" in text
+        assert "repro_server_inflight 2.0" in text
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.increment("x")
+        assert "acme_x_total 1" in render_prometheus(
+            registry.snapshot(), prefix="acme"
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == "\n"
+
+    def test_output_is_deterministically_sorted(self):
+        registry = MetricsRegistry()
+        registry.increment("zeta")
+        registry.increment("alpha")
+        text = render_prometheus(registry.snapshot())
+        assert text.index("repro_alpha_total") < text.index("repro_zeta_total")

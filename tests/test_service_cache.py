@@ -105,6 +105,34 @@ class TestCachePersistence:
         assert cache.get("badkey") is None
         assert cache.stats()["misses"] == 1
 
+    def test_corrupt_spill_file_is_deleted(self, tmp_path):
+        """A corrupt file is dropped so the failed parse is paid once."""
+        path = tmp_path / "badkey.json"
+        path.write_text("{not json at all")
+        cache = ResultCache(persist_dir=tmp_path)
+        assert cache.get("badkey") is None
+        assert not path.exists()
+        assert cache.stats()["corrupt_dropped"] == 1
+        # The slot is usable again: a fresh put re-creates a valid spill.
+        cache.put("badkey", _result([1, 0]))
+        assert path.exists()
+        assert ResultCache(persist_dir=tmp_path).get("badkey") is not None
+
+    def test_truncated_spill_file_is_deleted(self, tmp_path):
+        intact = ResultCache(persist_dir=tmp_path)
+        intact.put("key", _result([0, 1]))
+        path = tmp_path / "key.json"
+        path.write_text(path.read_text()[: 20])  # simulate a torn write
+        fresh = ResultCache(persist_dir=tmp_path)
+        assert fresh.get("key") is None
+        assert not path.exists()
+        assert fresh.stats()["corrupt_dropped"] == 1
+
+    def test_missing_spill_file_is_not_counted_as_corrupt(self, tmp_path):
+        cache = ResultCache(persist_dir=tmp_path)
+        assert cache.get("never-stored") is None
+        assert cache.stats()["corrupt_dropped"] == 0
+
     def test_wrong_schema_spill_file_is_a_miss(self, tmp_path):
         (tmp_path / "oldkey.json").write_text(
             '{"schema": "repro.inference_result/0", "ranking": [0, 1]}'

@@ -14,6 +14,7 @@ from repro.service import (
     dump_results_jsonl,
     iter_jobs_jsonl,
     job_from_payload,
+    job_result_from_payload,
     job_result_to_payload,
     job_to_payload,
     load_jobs_jsonl,
@@ -158,3 +159,44 @@ class TestJsonlStreams:
         assert second["status"] == "failed"
         assert "ranking" not in second
         assert second["error"].startswith("InferenceError")
+
+
+class TestJobResultRoundTrip:
+    def test_succeeded_result_round_trips(self):
+        result = InferenceResult(ranking=Ranking([1, 0]),
+                                 log_preference=-0.5,
+                                 step_seconds={"search": 0.25})
+        original = JobResult(job_id="a", status=JobStatus.SUCCEEDED,
+                             result=result, attempts=2, from_cache=False,
+                             seconds=0.125, extras={"accuracy": 0.9})
+        decoded = job_result_from_payload(job_result_to_payload(original))
+        assert decoded.job_id == "a"
+        assert decoded.status is JobStatus.SUCCEEDED
+        assert decoded.result.ranking == result.ranking
+        assert decoded.result.step_seconds == {"search": 0.25}
+        assert decoded.attempts == 2
+        assert decoded.seconds == pytest.approx(0.125)
+        assert decoded.extras == {"accuracy": 0.9}
+
+    def test_failed_result_round_trips(self):
+        original = JobResult(job_id="b", status=JobStatus.FAILED,
+                             error="InferenceError: boom", attempts=3)
+        decoded = job_result_from_payload(job_result_to_payload(original))
+        assert decoded.status is JobStatus.FAILED
+        assert decoded.result is None
+        assert decoded.error == "InferenceError: boom"
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(DataFormatError):
+            job_result_from_payload({"schema": "repro.job/1", "job_id": "a",
+                                     "status": "succeeded"})
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(DataFormatError):
+            job_result_from_payload({"schema": "repro.job_result/1",
+                                     "job_id": "a", "status": "exploded"})
+
+    def test_missing_job_id_rejected(self):
+        with pytest.raises(DataFormatError):
+            job_result_from_payload({"schema": "repro.job_result/1",
+                                     "status": "succeeded"})

@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.service import MetricsRegistry
+from repro.service import MetricsRegistry, TimerStats
 
 
 class TestCounters:
@@ -42,6 +42,68 @@ class TestTimers:
         metrics.observe_steps({"truth_discovery": 0.4, "search": 1.2})
         timers = metrics.snapshot()["timers"]
         assert set(timers) == {"step.truth_discovery", "step.search"}
+
+
+class TestPercentiles:
+    def test_exact_below_reservoir_capacity(self):
+        stats = TimerStats()
+        for value in range(1, 101):          # 1..100 in order
+            stats.observe(float(value))
+        assert stats.percentile(50) == 50.0  # nearest-rank: ceil(0.5*100)
+        assert stats.percentile(95) == 95.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentiles() == {"p50": 50.0, "p95": 95.0,
+                                       "p99": 99.0}
+
+    def test_insertion_order_is_irrelevant(self):
+        forward, backward = TimerStats(), TimerStats()
+        for value in range(1, 101):
+            forward.observe(float(value))
+            backward.observe(float(101 - value))
+        assert forward.percentiles() == backward.percentiles()
+
+    def test_reservoir_stays_bounded(self):
+        stats = TimerStats(reservoir_capacity=16)
+        for value in range(10_000):
+            stats.observe(float(value))
+        assert len(stats._samples) == 16
+        assert stats.count == 10_000
+        # Estimates stay inside the observed range.
+        assert 0.0 <= stats.percentile(50) <= 9999.0
+
+    def test_reservoir_replacement_is_deterministic(self):
+        def run():
+            stats = TimerStats(reservoir_capacity=8)
+            for value in range(1000):
+                stats.observe(float(value % 37))
+            return stats.percentiles()
+
+        assert run() == run()
+
+    def test_empty_timer_reports_zero(self):
+        stats = TimerStats()
+        assert stats.percentile(95) == 0.0
+        assert stats.as_dict()["p95"] == 0.0
+
+    def test_invalid_quantile_rejected(self):
+        stats = TimerStats()
+        stats.observe(1.0)
+        for bad in (0, -5, 101):
+            with pytest.raises(ConfigurationError):
+                stats.percentile(bad)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimerStats(reservoir_capacity=0)
+
+    def test_snapshot_carries_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            metrics.observe("job.seconds", value)
+        timer = metrics.snapshot()["timers"]["job.seconds"]
+        assert timer["p50"] == pytest.approx(0.2)
+        assert timer["p95"] == pytest.approx(0.4)
+        assert timer["p99"] == pytest.approx(0.4)
 
 
 class TestSnapshot:
