@@ -11,11 +11,20 @@ jobs directly, governed by two explicit limits:
 * **execution slots** (a semaphore of ``workers``) bounding how many
   jobs actually run concurrently; admitted requests wait for a slot
   only as long as their deadline allows, then give up with ``503``.
+  Batches hold one slot per internal executor worker (taking extra
+  slots only when free), so total running jobs never exceed
+  ``workers`` even across concurrent batch requests.
 
 Per-request deadlines (the optional ``timeout`` field of a request
 body, capped by ``max_timeout``, defaulting to ``default_timeout``)
-are mapped onto the executor's per-job timeout machinery: time spent
-waiting for a slot is subtracted from the budget the job may run for.
+are enforced as one absolute instant for the whole request: slot
+wait, every job attempt, and retry backoff all draw from the same
+budget (the executor's ``deadline`` machinery), so a request cannot
+hold its slots much past the deadline the client asked for.
+
+Backpressure responses (and any other error sent before the request
+body has been read) carry ``Connection: close`` so a keep-alive
+client never has its unread body misparsed as the next request.
 
 Endpoints
 ---------
@@ -347,7 +356,11 @@ class RankingServer:
             _log.warning("drain grace of %.1fs expired with %d request(s) "
                          "still in flight", grace, self._gate.inflight)
         self._stopped.set()
-        self._httpd.shutdown()
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever(); calling it on
+            # a never-started server would wait forever on an event only
+            # the serving loop sets.
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -415,44 +428,57 @@ class RankingServer:
     def execute_job(self, job: RankingJob,
                     timeout: Optional[float]) -> JobResult:
         """Run one admitted job inside an execution slot."""
-        report = self._run_in_slot([job], timeout, workers=1)
+        report = self._run_in_slots([job], timeout, max_workers=1)
         return report.results[0]
 
     def execute_batch(self, jobs: List[RankingJob],
                       timeout: Optional[float]) -> BatchReport:
-        """Run an admitted batch (one admission slot, one execution slot;
-        the batch parallelises internally over ``config.workers``)."""
-        return self._run_in_slot(
-            jobs, timeout, workers=min(self._config.workers, len(jobs))
+        """Run an admitted batch (one admission slot; one execution slot
+        per internal executor worker, so batch parallelism is bounded by
+        the slots currently free rather than multiplying ``workers``)."""
+        return self._run_in_slots(
+            jobs, timeout, max_workers=min(self._config.workers, len(jobs))
         )
 
-    def _run_in_slot(self, jobs: List[RankingJob],
-                     timeout: Optional[float], workers: int) -> BatchReport:
+    def _run_in_slots(self, jobs: List[RankingJob],
+                      timeout: Optional[float], max_workers: int) -> BatchReport:
+        """Run ``jobs`` holding one execution slot per executor worker.
+
+        One slot is acquired blocking (bounded by the request deadline);
+        up to ``max_workers - 1`` further slots are taken only if free
+        right now, so a batch widens opportunistically without ever
+        pushing total running jobs past ``config.workers`` — and two
+        requests each holding one slot can never deadlock waiting on
+        each other.  The request deadline is enforced as an absolute
+        instant across slot wait, every attempt, and retry backoff.
+        """
         wait_budget = timeout if timeout is not None \
             else self._config.max_timeout
-        wait_start = time.monotonic()
+        deadline = None if timeout is None else time.monotonic() + timeout
         if not self._slots.acquire(timeout=wait_budget):
             self._metrics.increment("http.rejected.slot_timeout")
             raise _HttpError(503, "no execution slot within deadline",
                              headers={"Retry-After": "1"})
+        held = 1
         try:
-            remaining = None
-            if timeout is not None:
-                remaining = timeout - (time.monotonic() - wait_start)
-                if remaining <= 1e-3:
-                    self._metrics.increment("http.rejected.slot_timeout")
-                    raise _HttpError(503, "deadline exhausted while queued",
-                                     headers={"Retry-After": "1"})
+            if deadline is not None \
+                    and deadline - time.monotonic() <= 1e-3:
+                self._metrics.increment("http.rejected.slot_timeout")
+                raise _HttpError(503, "deadline exhausted while queued",
+                                 headers={"Retry-After": "1"})
+            while held < max_workers and self._slots.acquire(blocking=False):
+                held += 1
             executor = BatchExecutor(
-                workers,
+                held,
                 cache=self._cache,
                 retry=self._retry,
-                timeout=remaining,
+                deadline=deadline,
                 metrics=self._metrics,
             )
             return executor.run(jobs)
         finally:
-            self._slots.release()
+            for _ in range(held):
+                self._slots.release()
 
     # -- observability ------------------------------------------------------
 
@@ -482,6 +508,8 @@ class _Handler(BaseHTTPRequestHandler):
     # set by _send_bytes for the access log
     _status = 0
     _sent_bytes = 0
+    # set by _read_json_body once the request body left the socket
+    _body_consumed = False
 
     @property
     def ranking(self) -> RankingServer:
@@ -511,6 +539,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         start = time.perf_counter()
+        self._status = 0
+        self._sent_bytes = 0
+        self._body_consumed = False
         path = urlsplit(self.path).path
         route = self._ROUTES.get((method, path), "unrouted")
         try:
@@ -522,11 +553,15 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _HttpError(404, f"no such endpoint: {path}")
             getattr(self, f"_handle_{route}")()
         except _HttpError as error:
+            # Any error emitted while the request body is still on the
+            # socket must close the connection: a keep-alive peer would
+            # otherwise see its unread body parsed as the next request
+            # line (e.g. 429/503 from admit(), 404 for a POST).
             self._send_json(
                 error.status,
                 {"error": error.message, "status": error.status},
                 extra_headers=error.headers,
-                close=error.close,
+                close=error.close or self._body_pending(),
             )
         except Exception as error:  # noqa: BLE001 — isolation boundary
             _log.exception("unhandled error serving %s %s", method, path)
@@ -613,6 +648,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing -----------------------------------------------------------
 
+    def _body_pending(self) -> bool:
+        """True when the peer declared a request body not yet read off
+        the socket — responding without closing would desynchronize a
+        keep-alive connection."""
+        if self._body_consumed:
+            return False
+        if "chunked" in self.headers.get("Transfer-Encoding", "").lower():
+            return True
+        try:
+            return int(self.headers.get("Content-Length") or 0) > 0
+        except ValueError:
+            return True
+
     def _read_json_body(self) -> object:
         length_text = self.headers.get("Content-Length")
         if length_text is None:
@@ -638,6 +686,7 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length)
         if len(raw) != length:
             raise _HttpError(400, "truncated request body", close=True)
+        self._body_consumed = True
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:

@@ -116,6 +116,13 @@ class BatchExecutor:
         Per-job wall-clock seconds budget covering *each attempt*
         individually; ``None`` means unbounded.  Timed-out jobs are not
         retried — with the same seed they would time out again.
+    deadline:
+        Absolute :func:`time.monotonic` instant after which no further
+        work is started: attempts are bounded by the time remaining,
+        retry backoff never sleeps past it, and jobs reaching it come
+        back ``TIMED_OUT``.  Unlike ``timeout`` this is one budget for
+        the whole run — attempts, retries and queued jobs all draw from
+        it — which is what a per-request deadline maps onto.
     metrics:
         Registry to record into (a fresh one is created if omitted);
         exposed as :attr:`metrics` and snapshotted into every
@@ -129,6 +136,7 @@ class BatchExecutor:
         cache: Optional[ResultCache] = None,
         retry: Optional[RetryPolicy] = None,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
@@ -139,6 +147,7 @@ class BatchExecutor:
         self._cache = cache
         self._retry = retry or RetryPolicy()
         self._timeout = timeout
+        self._deadline = deadline
         self._metrics = metrics or MetricsRegistry()
 
     @property
@@ -228,6 +237,7 @@ class BatchExecutor:
         try:
             retried = call_with_retry(
                 one_attempt, self._retry, label=f"job {job.job_id}",
+                sleep=self._backoff_sleep,
             )
         except JobTimeoutError as error:
             _log.warning("job %s: %s", job.job_id, error)
@@ -284,19 +294,44 @@ class BatchExecutor:
         if outcome.result is not None and not outcome.from_cache:
             self._metrics.observe_steps(outcome.result.step_seconds)
 
+    def _backoff_sleep(self, delay: float) -> None:
+        """Retry backoff that never sleeps past the run deadline."""
+        if self._deadline is not None:
+            delay = min(delay, max(0.0, self._deadline - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
     # -- one attempt --------------------------------------------------------
+
+    def _attempt_budget(self) -> Optional[float]:
+        """Wall-clock seconds the next attempt may use.
+
+        The smaller of the per-attempt ``timeout`` and the time left
+        until the absolute ``deadline``; ``None`` when both are
+        unbounded.  Raises :class:`JobTimeoutError` once the deadline
+        has already passed — queued jobs and post-backoff retries give
+        up here instead of starting doomed work.
+        """
+        budget = self._timeout
+        if self._deadline is not None:
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                raise JobTimeoutError("run deadline exhausted before attempt")
+            budget = remaining if budget is None else min(budget, remaining)
+        return budget
 
     def _run_with_timeout(
         self, job: RankingJob
     ) -> Tuple[InferenceResult, Dict[str, object]]:
-        """One attempt, bounded by the per-job timeout.
+        """One attempt, bounded by the per-job timeout / run deadline.
 
-        The attempt runs on a daemon thread; if it outlives the
-        deadline it is abandoned and :class:`JobTimeoutError` is raised
+        The attempt runs on a daemon thread; if it outlives its budget
+        it is abandoned and :class:`JobTimeoutError` is raised
         (the stray thread cannot poison later jobs — it shares no
         mutable state with them).
         """
-        if self._timeout is None:
+        budget = self._attempt_budget()
+        if budget is None:
             return self._attempt(job)
         box: List[Tuple[str, object]] = []
 
@@ -311,10 +346,10 @@ class BatchExecutor:
             name=f"repro-job-{job.job_id}",
         )
         thread.start()
-        thread.join(self._timeout)
+        thread.join(budget)
         if thread.is_alive():
             raise JobTimeoutError(
-                f"attempt exceeded {self._timeout:g}s (abandoned)"
+                f"attempt exceeded {budget:g}s (abandoned)"
             )
         kind, payload = box[0]
         if kind == "err":
@@ -373,9 +408,11 @@ def run_batch(
     cache: Optional[ResultCache] = None,
     retry: Optional[RetryPolicy] = None,
     timeout: Optional[float] = None,
+    deadline: Optional[float] = None,
 ) -> BatchReport:
     """One-call convenience: build a :class:`BatchExecutor` and run."""
     executor = BatchExecutor(
-        workers, cache=cache, retry=retry, timeout=timeout
+        workers, cache=cache, retry=retry, timeout=timeout,
+        deadline=deadline,
     )
     return executor.run(jobs)

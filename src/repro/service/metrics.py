@@ -72,6 +72,19 @@ class TimerStats:
             if slot < self.reservoir_capacity:
                 self._samples[slot] = seconds
 
+    def copy(self) -> "TimerStats":
+        """An independent clone (own reservoir and picker state)."""
+        dup = TimerStats(
+            count=self.count,
+            total=self.total,
+            min=self.min,
+            max=self.max,
+            reservoir_capacity=self.reservoir_capacity,
+            _samples=list(self._samples),
+        )
+        dup._picker.setstate(self._picker.getstate())
+        return dup
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile ``q`` (in (0, 100]) over the reservoir.
 
@@ -148,13 +161,15 @@ class MetricsRegistry:
             return self._counters.get(name, 0)
 
     def timer(self, name: str) -> TimerStats:
-        """A copy-free view of one timer (empty stats when never observed).
+        """A point-in-time copy of one timer (empty when never observed).
 
-        The returned object is the live aggregate — treat it as
-        read-only; concurrent writers keep mutating it.
+        Taken under the registry lock, so percentile computations on the
+        returned object never race concurrent ``observe`` calls mutating
+        the live reservoir.
         """
         with self._lock:
-            return self._timers.get(name, TimerStats())
+            stats = self._timers.get(name)
+            return stats.copy() if stats is not None else TimerStats()
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-ready dict: counters, timers, derived rates.

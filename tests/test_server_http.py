@@ -1,5 +1,6 @@
 """End-to-end tests for the HTTP ranking service (ephemeral ports)."""
 
+import http.client
 import json
 import threading
 import time
@@ -13,7 +14,7 @@ from repro.config import PipelineConfig
 from repro.datasets import make_scenario
 from repro.exceptions import ConfigurationError
 from repro.server import AdmissionGate, RankingServer, ServerConfig
-from repro.service import BatchExecutor, JobStatus
+from repro.service import BatchExecutor, BatchReport, JobStatus
 from repro.session import rank_with_crowd
 from repro.types import InferenceResult, Ranking
 from repro.workers import QualityLevel
@@ -237,6 +238,159 @@ class TestLimits:
             assert "exceeds the limit" in body["error"]
 
 
+def _raw_post(server, path, body, *, conn=None):
+    """POST on a persistent connection; returns (connection, response,
+    decoded body).  The response is fully read so the connection could
+    be reused — whether it *may* be is what the tests assert via the
+    ``Connection`` response header."""
+    if conn is None:
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+    conn.request("POST", path, body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    return conn, response, payload
+
+
+class TestKeepAlive:
+    """Errors sent before the body is read must close the connection,
+    or the unread body desynchronizes keep-alive clients."""
+
+    def test_post_to_unknown_path_closes_connection(self, server):
+        body = json.dumps(SCENARIO_REQUEST).encode("utf-8")
+        conn, response, payload = _raw_post(server, "/v1/nope", body)
+        try:
+            assert response.status == 404
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_saturated_rejection_closes_connection(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocked(self, job):
+            started.set()
+            assert release.wait(timeout=30)
+            return (
+                InferenceResult(ranking=Ranking([0, 1]), log_preference=0.0),
+                {},
+            )
+
+        monkeypatch.setattr(BatchExecutor, "_attempt", blocked)
+        with RankingServer(ServerConfig(port=0, workers=1, queue_depth=1,
+                                        no_cache=True)) as server:
+            background = threading.Thread(target=_post, args=(
+                server.url + "/v1/rank",
+                {"job_id": "slow", "seed": 1,
+                 "votes": {"n_objects": 2, "votes": [[0, 0, 1]]}},
+            ))
+            background.start()
+            try:
+                assert started.wait(timeout=10)
+                body = json.dumps(SCENARIO_REQUEST).encode("utf-8")
+                conn, response, payload = _raw_post(server, "/v1/rank", body)
+                try:
+                    assert response.status == 429
+                    assert response.getheader("Connection") == "close"
+                finally:
+                    conn.close()
+            finally:
+                release.set()
+                background.join(timeout=30)
+
+    def test_successful_posts_reuse_one_connection(self, server):
+        body = json.dumps(SCENARIO_REQUEST).encode("utf-8")
+        conn = None
+        try:
+            for _ in range(2):
+                conn, response, payload = _raw_post(
+                    server, "/v1/rank", body, conn=conn)
+                assert response.status == 200
+                assert response.getheader("Connection") != "close"
+                assert payload["status"] == "succeeded"
+        finally:
+            if conn is not None:
+                conn.close()
+
+    def test_consumed_body_error_keeps_connection(self, server):
+        # 400 for malformed JSON happens after the body left the
+        # socket, so keep-alive is safe and must be preserved.
+        conn, response, payload = _raw_post(server, "/v1/rank", b"{not json")
+        try:
+            assert response.status == 400
+            assert response.getheader("Connection") != "close"
+        finally:
+            conn.close()
+
+
+class TestExecutionSlots:
+    """Batches must hold one execution slot per internal worker, so
+    concurrent batch requests can never run more than ``config.workers``
+    jobs in total."""
+
+    @staticmethod
+    def _recording_executor(recorded):
+        class Recorder:
+            def __init__(self, workers, **kwargs):
+                recorded["workers"] = workers
+                recorded["deadline"] = kwargs.get("deadline")
+
+            def run(self, jobs):
+                return BatchReport(results=())
+
+        return Recorder
+
+    def _jobs(self, server, count):
+        return [server.decode_job(dict(SCENARIO_REQUEST, job_id=f"s{i}"))
+                for i in range(count)]
+
+    def test_batch_uses_full_width_when_slots_free(self, monkeypatch):
+        from repro.server import app as app_module
+
+        recorded = {}
+        monkeypatch.setattr(app_module, "BatchExecutor",
+                            self._recording_executor(recorded))
+        server = RankingServer(ServerConfig(workers=3, no_cache=True))
+        server.execute_batch(self._jobs(server, 5), timeout=None)
+        assert recorded["workers"] == 3
+        # Every slot was released afterwards.
+        for _ in range(3):
+            assert server._slots.acquire(blocking=False)
+
+    def test_batch_narrows_to_free_slots(self, monkeypatch):
+        from repro.server import app as app_module
+
+        recorded = {}
+        monkeypatch.setattr(app_module, "BatchExecutor",
+                            self._recording_executor(recorded))
+        server = RankingServer(ServerConfig(workers=3, no_cache=True))
+        # Simulate another in-flight request holding one slot: the
+        # batch must narrow to the remaining two instead of stacking
+        # three more workers on top.
+        assert server._slots.acquire(blocking=False)
+        server.execute_batch(self._jobs(server, 5), timeout=None)
+        assert recorded["workers"] == 2
+        for _ in range(2):
+            assert server._slots.acquire(blocking=False)
+        assert not server._slots.acquire(blocking=False)
+
+    def test_request_timeout_becomes_absolute_deadline(self, monkeypatch):
+        from repro.server import app as app_module
+
+        recorded = {}
+        monkeypatch.setattr(app_module, "BatchExecutor",
+                            self._recording_executor(recorded))
+        server = RankingServer(ServerConfig(workers=2, no_cache=True))
+        before = time.monotonic()
+        server.execute_batch(self._jobs(server, 1), timeout=30.0)
+        assert before + 29.0 < recorded["deadline"] <= \
+            time.monotonic() + 30.0
+        server.execute_batch(self._jobs(server, 1), timeout=None)
+        assert recorded["deadline"] is None
+
+
 class TestBackpressure:
     def test_saturated_queue_yields_429_never_a_hang(self, monkeypatch):
         release = threading.Event()
@@ -375,6 +529,13 @@ class TestGracefulDrain:
         server.start()
         assert server.stop() is True
         assert server.stop() is True
+
+    def test_stop_before_start_returns_promptly(self):
+        # shutdown() handshakes with serve_forever(); a never-started
+        # server must not wait on that handshake forever.
+        server = RankingServer(ServerConfig(port=0, no_cache=True))
+        assert server.stop(drain_timeout=0.1) is True
+        assert server.stop() is True  # and stays idempotent
 
 
 class TestMetricsEndpoint:

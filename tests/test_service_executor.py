@@ -216,6 +216,79 @@ class TestRetries:
         assert "TransientJobError" in outcome.error
 
 
+class TestDeadline:
+    def test_past_deadline_times_out_without_starting_work(self, tiny_votes):
+        executor = BatchExecutor(
+            workers=1, deadline=time.monotonic() - 1.0, retry=NO_RETRY,
+        )
+        attempts = []
+        executor._attempt = lambda job: attempts.append(job)
+        report = executor.run(
+            [RankingJob(job_id="late", votes=tiny_votes, config=QUICK,
+                        seed=1)]
+        )
+        assert report.results[0].status is JobStatus.TIMED_OUT
+        assert attempts == []  # doomed work never started
+
+    def test_deadline_bounds_the_whole_batch(self, tiny_votes):
+        # One absolute budget for all jobs — not per attempt: with a
+        # 0.3s deadline, four 5s jobs drain in ~one deadline, queued
+        # jobs timing out immediately once it passes.
+        executor = BatchExecutor(
+            workers=1, deadline=time.monotonic() + 0.3, retry=NO_RETRY,
+        )
+
+        def slow(job):
+            time.sleep(5.0)
+
+        executor._attempt = slow
+        jobs = [RankingJob(job_id=f"s{i}", votes=tiny_votes, config=QUICK,
+                           seed=1) for i in range(4)]
+        start = time.perf_counter()
+        report = executor.run(jobs)
+        elapsed = time.perf_counter() - start
+        assert all(r.status is JobStatus.TIMED_OUT for r in report.results)
+        assert elapsed < 3.0
+
+    def test_deadline_caps_retry_backoff(self, tiny_votes):
+        executor = BatchExecutor(
+            workers=1,
+            retry=RetryPolicy(max_attempts=5, base_delay=30.0,
+                              max_delay=30.0),
+            deadline=time.monotonic() + 0.2,
+        )
+
+        def always_flaky(job):
+            raise TransientJobError("still down")
+
+        executor._attempt = always_flaky
+        start = time.perf_counter()
+        report = executor.run(
+            [RankingJob(job_id="f", votes=tiny_votes, seed=1)]
+        )
+        elapsed = time.perf_counter() - start
+        assert report.results[0].status is JobStatus.TIMED_OUT
+        assert elapsed < 5.0  # backoff clamped to the deadline, not 30s
+
+    def test_per_attempt_timeout_still_applies_under_far_deadline(
+            self, tiny_votes):
+        executor = BatchExecutor(
+            workers=1, timeout=0.2, deadline=time.monotonic() + 60.0,
+            retry=NO_RETRY,
+        )
+
+        def slow(job):
+            time.sleep(5.0)
+
+        executor._attempt = slow
+        start = time.perf_counter()
+        report = executor.run(
+            [RankingJob(job_id="slow", votes=tiny_votes, seed=1)]
+        )
+        assert report.results[0].status is JobStatus.TIMED_OUT
+        assert time.perf_counter() - start < 3.0
+
+
 class TestMetrics:
     def test_batch_metrics_cover_outcomes_and_steps(self):
         metrics = MetricsRegistry()

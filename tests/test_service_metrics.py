@@ -123,6 +123,33 @@ class TestSnapshot:
         snap["counters"]["a"] = 999
         assert metrics.counter("a") == 1
 
+    def test_timer_is_a_point_in_time_copy(self):
+        metrics = MetricsRegistry()
+        metrics.observe("t", 1.0)
+        view = metrics.timer("t")
+        # Later observations never leak into the copy (so percentile
+        # sorts cannot race concurrent writers on the live reservoir)...
+        metrics.observe("t", 9.0)
+        assert view.count == 1
+        assert view.percentile(50) == 1.0
+        assert metrics.timer("t").count == 2
+        # ...and mutating the copy never touches the registry.
+        view.observe(100.0)
+        assert metrics.timer("t").max == 9.0
+
+    def test_timer_copy_preserves_reservoir_determinism(self):
+        # The copy carries the picker state, so a copy taken mid-series
+        # (after replacement began) continues exactly like the original.
+        original = TimerStats(reservoir_capacity=8)
+        for i in range(20):
+            original.observe(float(i))
+        clone = original.copy()
+        for i in range(20, 60):
+            original.observe(float(i))
+            clone.observe(float(i))
+        assert clone._samples == original._samples
+        assert clone.percentiles() == original.percentiles()
+
 
 def test_thread_safety_under_contention():
     metrics = MetricsRegistry()
