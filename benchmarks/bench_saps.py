@@ -1,0 +1,179 @@
+"""Benchmark: incremental vs reference SAPS annealing kernel.
+
+Runs both kernels on the same random complete closures with the same
+seed at several sizes and writes ``BENCH_saps.json`` at the repo root:
+proposals/sec and wall time per kernel, the speedup, and hard equality
+checks (same best ranking, same cost to 1e-9, serial == parallel
+restarts) — so later PRs can track kernel performance and catch any
+divergence between the two implementations.
+
+``--smoke`` runs a tiny configuration with ``debug_checks`` on (the
+incremental kernel asserts running-cost == full re-sum after every
+accepted move) and exits non-zero if the kernels disagree or the
+incremental kernel is slower than 1.5x the reference — suitable for CI.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_saps.py [--sizes 50 100 200 400]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import SAPSConfig
+from repro.inference.saps import saps_search_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def random_closure(n: int, seed: int) -> np.ndarray:
+    """A random complete closure: w_ij + w_ji = 1, weights in (0, 1)."""
+    rng = np.random.default_rng(seed)
+    upper = rng.uniform(0.05, 0.95, size=(n, n))
+    matrix = np.triu(upper, 1)
+    matrix = matrix + np.tril(1.0 - matrix.T, -1)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def run_kernel(matrix: np.ndarray, config: SAPSConfig,
+               seed: int) -> Dict[str, object]:
+    start = time.perf_counter()
+    report = saps_search_report(matrix, config, rng=seed)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "proposals_per_s": round(report.proposed_moves / elapsed, 1),
+        "proposed_moves": report.proposed_moves,
+        "accepted_moves": report.accepted_moves,
+        "log_preference": report.log_preference,
+        "ranking": list(report.ranking.order),
+    }
+
+
+def bench_size(n: int, iterations: int, restarts: int, seed: int,
+               debug_checks: bool) -> Dict[str, object]:
+    matrix = random_closure(n, seed=n)
+    base = dict(iterations=iterations, restarts=restarts,
+                scale_with_objects=False)
+    incremental = run_kernel(
+        matrix,
+        SAPSConfig(**base, kernel="incremental", debug_checks=debug_checks),
+        seed,
+    )
+    reference = run_kernel(
+        matrix, SAPSConfig(**base, kernel="reference"), seed
+    )
+    parallel = run_kernel(
+        matrix,
+        SAPSConfig(**base, kernel="incremental", parallel_restarts=4,
+                   debug_checks=debug_checks),
+        seed,
+    )
+    same_ranking = incremental["ranking"] == reference["ranking"]
+    cost_gap = abs(incremental["log_preference"]
+                   - reference["log_preference"])
+    parallel_identical = (
+        parallel["ranking"] == incremental["ranking"]
+        and parallel["log_preference"] == incremental["log_preference"]
+    )
+    speedup = (incremental["proposals_per_s"]
+               / reference["proposals_per_s"])
+    return {
+        "n": n,
+        "iterations": iterations,
+        "restarts": restarts,
+        "incremental": {k: v for k, v in incremental.items()
+                        if k != "ranking"},
+        "reference": {k: v for k, v in reference.items() if k != "ranking"},
+        "parallel_restarts_4": {k: v for k, v in parallel.items()
+                                if k != "ranking"},
+        "speedup": round(speedup, 2),
+        "same_ranking": same_ranking,
+        "cost_gap": cost_gap,
+        "serial_equals_parallel": parallel_identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[50, 100, 200, 400],
+                        help="closure sizes to benchmark")
+    parser.add_argument("--iterations", type=int, default=4000,
+                        help="anneal iterations per restart (default 4000)")
+    parser.add_argument("--restarts", type=int, default=2,
+                        help="restarts per run (default 2)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI mode: debug_checks on, asserts "
+                             "equality and no slowdown > 1.5x")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_saps.json"),
+                        help="output path (default <repo>/BENCH_saps.json)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        sizes: List[int] = [20, 40]
+        iterations = 500
+    else:
+        sizes = args.sizes
+        iterations = args.iterations
+
+    results = []
+    failures = []
+    for n in sizes:
+        summary = bench_size(n, iterations, args.restarts, args.seed,
+                             debug_checks=args.smoke)
+        results.append(summary)
+        print(f"n={n}: incremental "
+              f"{summary['incremental']['proposals_per_s']:,.0f} p/s, "
+              f"reference "
+              f"{summary['reference']['proposals_per_s']:,.0f} p/s, "
+              f"speedup {summary['speedup']}x, "
+              f"same_ranking={summary['same_ranking']}, "
+              f"cost_gap={summary['cost_gap']:.2e}, "
+              f"serial==parallel {summary['serial_equals_parallel']}")
+        if not summary["same_ranking"] or summary["cost_gap"] > 1e-9:
+            failures.append(f"n={n}: kernels disagree")
+        if not summary["serial_equals_parallel"]:
+            failures.append(f"n={n}: parallel restarts changed the result")
+        if args.smoke and summary["speedup"] < 1.0 / 1.5:
+            failures.append(
+                f"n={n}: incremental kernel slower than 1.5x reference "
+                f"(speedup {summary['speedup']}x)"
+            )
+
+    payload = {
+        "generated_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "workload": {
+            "sizes": sizes,
+            "iterations": iterations,
+            "restarts": args.restarts,
+            "seed": args.seed,
+        },
+        "results": results,
+    }
+    if not args.smoke:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,7 @@ from typing import List, Optional
 from . import __version__
 from .assignment import generate_assignment, verify_assignment
 from .budget import BudgetModel, plan_for_budget, plan_for_selection_ratio
-from .config import PipelineConfig, PropagationConfig
+from .config import PipelineConfig, PropagationConfig, SAPSConfig
 from .datasets import load_votes_csv, make_scenario
 from .diagnostics import configure_logging
 from .exceptions import ReproError
@@ -82,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="saps", help="Step-4 search algorithm")
     rank.add_argument("--alpha", type=float, default=0.5,
                       help="Step-3 direct/indirect blend (default 0.5)")
+    rank.add_argument("--parallel-restarts", type=int, default=1,
+                      metavar="THREADS",
+                      help="worker threads for SAPS restarts; results are "
+                           "identical to serial for the same seed "
+                           "(default 1)")
     rank.add_argument("--top-k", type=int, default=None, metavar="K",
                       help="report only the top-K objects")
     rank.add_argument("--save", metavar="PATH", default=None,
@@ -120,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           default="gaussian")
     simulate.add_argument("--level", choices=["high", "medium", "low"],
                           default="medium")
+    simulate.add_argument("--parallel-restarts", type=int, default=1,
+                          metavar="THREADS",
+                          help="worker threads for SAPS restarts "
+                               "(default 1; seed-identical to serial)")
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--json", action="store_true")
 
@@ -202,6 +211,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         search=args.search,
         propagation=PropagationConfig(alpha=args.alpha),
+        saps=SAPSConfig(parallel_restarts=args.parallel_restarts),
     )
     result = infer_ranking(votes, config, rng=args.seed)
     if args.save:
@@ -279,7 +289,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         n_workers=args.workers, workers_per_task=args.workers_per_task,
         quality=args.quality, level=QualityLevel(args.level), rng=args.seed,
     )
-    record = run_pipeline_arm(scenario, PipelineConfig(), rng=args.seed)
+    config = PipelineConfig(
+        saps=SAPSConfig(parallel_restarts=args.parallel_restarts),
+    )
+    record = run_pipeline_arm(scenario, config, rng=args.seed)
     payload = record.as_row()
     if args.json:
         print(json.dumps(payload, indent=2, default=str))

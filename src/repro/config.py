@@ -188,6 +188,33 @@ class SAPSConfig:
         metric decouple near the optimum; see EXPERIMENTS.md E8).
         Enable it for short/hot annealing schedules or when the
         objective itself is what matters.
+    parallel_restarts:
+        Worker threads for the restart loop (1 = run restarts serially,
+        the default).  Every restart draws its own child random stream
+        from the run RNG up front, so serial and parallel execution
+        produce bit-identical best paths for the same seed; the knob
+        only changes wall-clock scheduling, never results.
+    kernel:
+        Move-evaluation strategy: ``"incremental"`` (default) computes
+        each proposal's ``d(P') - d(P)`` from the O(1)-O(k) boundary
+        edges and applies accepted moves in place;  ``"reference"``
+        re-sums all ``n - 1`` edges per proposal (the pre-optimisation
+        behaviour, kept as the benchmark baseline and cross-check
+        oracle).  Both kernels consume the random stream identically,
+        so for a fixed seed they accept the same moves and return the
+        same ranking.  Incomplete closures (any missing edge) always
+        use the reference kernel — +inf edge costs make deltas
+        ill-defined.
+    resync_every:
+        Accepted moves between full re-summations of the incremental
+        running cost.  The resync bounds float drift from accumulated
+        deltas; each one is O(n), so the amortised overhead is
+        negligible.
+    debug_checks:
+        When true, the incremental kernel asserts after *every*
+        accepted move that the running cost matches a full
+        :func:`~repro.inference.delta.path_cost` re-computation (1e-9
+        relative).  For tests and debugging — O(n) per accepted move.
     """
 
     iterations: int = 20000
@@ -197,6 +224,10 @@ class SAPSConfig:
     init: str = "degree"
     scale_with_objects: bool = True
     polish: bool = False
+    parallel_restarts: int = 1
+    kernel: str = "incremental"
+    resync_every: int = 512
+    debug_checks: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -211,6 +242,15 @@ class SAPSConfig:
             raise ConfigurationError(
                 f"init must be 'greedy', 'degree' or 'random', got {self.init!r}"
             )
+        if self.parallel_restarts < 1:
+            raise ConfigurationError("parallel_restarts must be >= 1")
+        if self.kernel not in ("incremental", "reference"):
+            raise ConfigurationError(
+                f"kernel must be 'incremental' or 'reference', got "
+                f"{self.kernel!r}"
+            )
+        if self.resync_every < 1:
+            raise ConfigurationError("resync_every must be >= 1")
 
 
 @dataclass(frozen=True)

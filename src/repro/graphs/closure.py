@@ -90,12 +90,16 @@ def propagate_walks(
         hop += 1
         indirect += power
     if ensure_coverage and n > 1:
-        reach_now = indirect + weights  # pairs with any evidence so far
-        while hop < n - 1 and _has_uncovered_reachable(weights, reach_now):
+        # Reachability depends only on the support graph of ``weights``,
+        # which never changes inside this loop — compute it once instead
+        # of re-deriving it (O(n^3 log n)) on every extension hop.
+        targets = _reachability(weights) & ~np.eye(n, dtype=bool)
+        evidence = indirect + weights  # pairs with any evidence so far
+        while hop < n - 1 and bool(np.any(targets & (evidence <= 0.0))):
             power = power @ weights
             hop += 1
             indirect += power
-            reach_now = indirect + weights
+            evidence = indirect + weights
     np.fill_diagonal(indirect, 0.0)
     return indirect
 

@@ -9,22 +9,32 @@ negligible cost:
 * **single-vertex reinsertion** (Or-opt with segment length 1) — fixes
   one object parked a few positions away from home.
 
-Both evaluate the ``d(P) = sum -log w`` objective incrementally (an
-adjacent swap touches at most 3 edges, a reinsertion at most 6), so a
-full sweep is O(n) / O(n * window).  Used via
+Both neighbourhoods are scored through the shared incremental kernel
+(:mod:`repro.inference.delta`): an adjacent swap is
+:func:`~repro.inference.delta.swap_delta` (3 edges) and a reinsertion is
+a rotation of the slice between the vertex and its target slot, so
+:func:`~repro.inference.delta.rotate_delta` prices it from at most 4
+edges.  A full sweep is therefore O(n) / O(n * window) *edge lookups*,
+not path re-summations.  Used via
 :class:`~repro.config.SAPSConfig.polish` or standalone.
+
+Infinite edges are safe here: every edge *removed* from the current path
+is finite (the path's total cost is finite throughout), so a delta is
+either finite or ``+inf`` (the candidate uses a missing edge) — never
+NaN — and ``+inf`` deltas are simply never improvements.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import InferenceError
 from ..graphs.digraph import WeightedDigraph
 from ..types import Ranking
+from .delta import apply_rotate, apply_swap, path_cost, rotate_delta, swap_delta
 from .taps import _as_matrix
 
 
@@ -62,76 +72,63 @@ def polish_ranking(
     np.fill_diagonal(cost, np.inf)
 
     path = list(ranking.order)
-    total = _path_cost(cost, path)
-    if math.isinf(total):
+    if math.isinf(path_cost(cost, path)):
         raise InferenceError("initial ranking has no finite-cost path")
 
+    rows = cost.tolist()
     for _ in range(max_sweeps):
-        improved = _swap_sweep(cost, path)
-        improved |= _reinsertion_sweep(cost, path, reinsertion_window)
+        improved = _swap_sweep(rows, path)
+        improved |= _reinsertion_sweep(rows, path, reinsertion_window)
         if not improved:
             break
-    return Ranking(path), -_path_cost(cost, path)
+    return Ranking(path), -path_cost(cost, path)
 
 
 def _path_cost(cost: np.ndarray, path) -> float:
-    arr = np.asarray(path)
-    return float(cost[arr[:-1], arr[1:]].sum())
+    return path_cost(cost, path)
 
 
-def _edge(cost: np.ndarray, path, a: int, b: int) -> float:
-    """Cost of the edge between positions a and b, inf-safe bounds."""
-    if a < 0 or b >= len(path):
-        return 0.0
-    return float(cost[path[a], path[b]])
-
-
-def _swap_sweep(cost: np.ndarray, path) -> bool:
+def _swap_sweep(rows: List[List[float]], path: List[int]) -> bool:
     """One pass of first-improvement adjacent swaps (in place)."""
-    n = len(path)
     improved = False
-    for k in range(n - 1):
-        before = (_edge(cost, path, k - 1, k)
-                  + float(cost[path[k], path[k + 1]])
-                  + _edge(cost, path, k + 1, k + 2))
-        after = (
-            (0.0 if k == 0 else float(cost[path[k - 1], path[k + 1]]))
-            + float(cost[path[k + 1], path[k]])
-            + (0.0 if k + 2 >= n else float(cost[path[k], path[k + 2]]))
-        )
-        if after < before - 1e-12:
-            path[k], path[k + 1] = path[k + 1], path[k]
+    for k in range(len(path) - 1):
+        if swap_delta(rows, path, k, k + 1) < -1e-12:
+            apply_swap(path, k, k + 1)
             improved = True
     return improved
 
 
-def _reinsertion_sweep(cost: np.ndarray, path, window: int) -> bool:
-    """Move single vertices to a better slot within ``window`` positions.
+def _reinsertion_sweep(
+    rows: List[List[float]], path: List[int], window: int
+) -> bool:
+    """Move single vertices to their best slot within ``window`` positions.
 
-    Each candidate move is evaluated by full path cost — O(n) with numpy
-    fancy indexing, and the window bound keeps the sweep O(n * window)
-    evaluations; correctness over cleverness for a polish pass.
+    Moving ``path[k]`` to slot ``s < k`` is ``Rotate(s, k, k+1)``; to
+    slot ``s > k`` it is ``Rotate(k, k+1, s+1)`` — so each candidate is
+    priced by :func:`~repro.inference.delta.rotate_delta` from at most
+    four edges instead of a full path re-sum.
     """
     n = len(path)
     improved = False
-    current_cost = _path_cost(cost, path)
     for k in range(n):
-        vertex = path[k]
-        best_cost = current_cost - 1e-12
-        best_candidate = None
+        best_delta = -1e-12
+        best_slot = None
         lo = max(0, k - window)
         hi = min(n - 1, k + window)
         for slot in range(lo, hi + 1):
             if slot == k:
                 continue
-            candidate = path[:k] + path[k + 1:]
-            candidate.insert(slot, vertex)
-            cand_cost = _path_cost(cost, candidate)
-            if cand_cost < best_cost:
-                best_cost = cand_cost
-                best_candidate = candidate
-        if best_candidate is not None:
-            path[:] = best_candidate
-            current_cost = best_cost
+            if slot < k:
+                delta = rotate_delta(rows, path, slot, k, k + 1)
+            else:
+                delta = rotate_delta(rows, path, k, k + 1, slot + 1)
+            if delta < best_delta:
+                best_delta = delta
+                best_slot = slot
+        if best_slot is not None:
+            if best_slot < k:
+                apply_rotate(path, best_slot, k, k + 1)
+            else:
+                apply_rotate(path, k, k + 1, best_slot + 1)
             improved = True
     return improved

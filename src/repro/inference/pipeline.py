@@ -99,6 +99,7 @@ class RankingPipeline:
                 "saps_restarts": report.restarts,
                 "saps_accepted_moves": report.accepted_moves,
                 "saps_proposed_moves": report.proposed_moves,
+                "saps_polish_improved": report.polish_improved,
             }
         step_seconds["search"] = time.perf_counter() - start
 

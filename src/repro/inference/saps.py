@@ -13,6 +13,28 @@ path ("selecting the nearest neighbors, or by ranking the nodes based on
 the difference of their out-/in- edge weights"); the config can cap the
 restart count, since on large complete closures a handful of restarts
 already reaches the plateau the paper reports.
+
+Two move-evaluation kernels share the proposal machinery:
+
+* the **incremental** kernel (default) scores each proposal by the
+  ``d(P') - d(P)`` of the few edges the move actually changes
+  (:mod:`repro.inference.delta`), applies accepted moves in place, and
+  re-syncs the running cost against a full re-sum every
+  ``resync_every`` accepted moves to bound float drift;
+* the **reference** kernel copies the path and re-sums all ``n - 1``
+  edges per proposal — the pre-optimisation cost model, kept as the
+  benchmark baseline (``benchmarks/bench_saps.py``), as the cross-check
+  oracle in tests, and as the automatic fallback on incomplete closures
+  where ``+inf`` edge costs make deltas ill-defined.
+
+Both kernels draw from the restart's random stream in exactly the same
+order (three index floats + one acceptance float per Rotate, two + one
+per Reverse/RandomSwap), so a fixed seed accepts the same move sequence
+under either kernel.  Restarts each get their own child stream spawned
+from the run RNG up front, which makes the restart loop embarrassingly
+parallel (``SAPSConfig.parallel_restarts``) without changing results:
+serial and parallel runs reduce the same per-restart outcomes in the
+same order.
 """
 
 from __future__ import annotations
@@ -26,14 +48,52 @@ import numpy as np
 from ..config import SAPSConfig
 from ..exceptions import InferenceError
 from ..graphs.digraph import WeightedDigraph
-from ..rng import SeedLike, ensure_rng
+from ..rng import SeedLike, ensure_rng, spawn_rngs
 from ..types import Ranking
+from ..workers.pool import parallel_map
+from .delta import (
+    apply_rotate,
+    apply_swap,
+    cost_rows,
+    path_cost,
+    reverse_delta,
+    reverse_diff_matrix,
+    rotate_delta,
+    swap_delta,
+)
 from .taps import _as_matrix
+
+#: Iterations' worth of random draws pre-fetched per block by the
+#: incremental kernel (10 floats per iteration: 4 + 3 + 3).
+_RNG_BLOCK = 256
+
+#: Floats consumed per iteration (Rotate 4, Reverse 3, RandomSwap 3).
+_DRAWS_PER_ITERATION = 10
 
 
 @dataclass(frozen=True)
 class SAPSReport:
-    """Diagnostics of one SAPS run (exposed for the benchmarks)."""
+    """Diagnostics of one SAPS run (exposed for the benchmarks).
+
+    Field semantics — precise, so benchmark attribution stays honest:
+
+    ranking / log_preference:
+        The final result, *including* the optional deterministic polish
+        pass when ``config.polish`` is set.
+    restarts:
+        Number of anneal restarts actually run.
+    iterations_per_restart:
+        Annealing iterations per restart (after ``scale_with_objects``).
+    accepted_moves / proposed_moves:
+        Boltzmann-accepted / proposed moves of the *anneal only* — the
+        polish pass is deterministic first-improvement search and its
+        work is excluded from both counters.
+    polish_improved / polish_delta:
+        Whether the polish pass strictly improved the objective, and by
+        how much (its log-preference gain, >= 0).  Both are zero/False
+        when ``config.polish`` is off, so the polish contribution to
+        ``log_preference`` is always attributable.
+    """
 
     ranking: Ranking
     log_preference: float
@@ -41,6 +101,8 @@ class SAPSReport:
     iterations_per_restart: int
     accepted_moves: int
     proposed_moves: int
+    polish_improved: bool = False
+    polish_delta: float = 0.0
 
 
 def saps_search(
@@ -82,43 +144,63 @@ def saps_search_report(
     iterations = config.iterations
     if config.scale_with_objects and n > 100:
         iterations = int(config.iterations * n / 100)
-    best_path: Optional[np.ndarray] = None
+
+    # Incremental deltas need finite edge costs everywhere a move could
+    # look; any missing edge (incomplete closure) falls back to the
+    # full-re-sum reference kernel, which handles +inf exactly.
+    off_diagonal = ~np.eye(n, dtype=bool)
+    complete = bool(np.isfinite(cost[off_diagonal]).all())
+    kernel = config.kernel if complete else "reference"
+    if kernel == "incremental":
+        rows = cost_rows(cost)
+        diff_matrix = reverse_diff_matrix(cost)
+        diff = diff_matrix.tolist()
+
+    # One child stream per restart: restarts become order-independent
+    # (parallelisable) while staying reproducible from the run RNG.
+    streams = spawn_rngs(generator, len(start_vertices))
+
+    def run_restart(task):
+        start, stream = task
+        initial = _initial_path(matrix, cost, start, config, stream)
+        if kernel == "reference":
+            return _anneal_reference(cost, initial, iterations, config,
+                                     stream)
+        return _anneal_incremental(cost, rows, diff, diff_matrix, initial,
+                                   iterations, config, stream)
+
+    tasks = list(zip(start_vertices, streams))
+    outcomes = parallel_map(run_restart, tasks,
+                            max_workers=config.parallel_restarts)
+
     best_cost = math.inf
+    best_order: Optional[List[int]] = None
     accepted = 0
     proposed = 0
+    for restart_cost, restart_path, restart_accepted, restart_proposed \
+            in outcomes:
+        accepted += restart_accepted
+        proposed += restart_proposed
+        # Strict < : the earliest restart keeps ties, exactly as the
+        # serial loop would, so parallel order cannot change the result.
+        if restart_cost < best_cost:
+            best_cost = restart_cost
+            best_order = restart_path
 
-    for start in start_vertices:
-        path = _initial_path(matrix, cost, start, config, generator)
-        current_cost = _path_cost(cost, path)
-        if current_cost < best_cost:
-            best_cost, best_path = current_cost, path.copy()
-
-        temperature = config.temperature
-        for _ in range(iterations):
-            for move in (_rotate, _reverse, _random_swap):
-                candidate = move(path, generator)
-                cand_cost = _path_cost(cost, candidate)
-                proposed += 1
-                if _accept(current_cost, cand_cost, temperature, generator):
-                    path, current_cost = candidate, cand_cost
-                    accepted += 1
-                    if current_cost < best_cost:
-                        best_cost = current_cost
-                        best_path = path.copy()
-            temperature *= config.cooling_rate
-            if temperature < 1e-300:
-                temperature = 1e-300
-
-    if best_path is None or math.isinf(best_cost):
+    if best_order is None or math.isinf(best_cost):
         raise InferenceError(
             "SAPS found no finite-cost Hamiltonian path; run Steps 2-3 "
             "first so the closure is complete"
         )
-    ranking = Ranking(best_path.tolist())
+    ranking = Ranking([int(v) for v in best_order])
+    polish_improved = False
+    polish_delta = 0.0
     if config.polish:
         from .local_search import polish_ranking
 
         ranking, log_pref = polish_ranking(matrix, ranking)
+        polish_delta = max(0.0, log_pref - (-best_cost))
+        polish_improved = polish_delta > 1e-12
         best_cost = -log_pref
     return SAPSReport(
         ranking=ranking,
@@ -127,6 +209,8 @@ def saps_search_report(
         iterations_per_restart=iterations,
         accepted_moves=accepted,
         proposed_moves=proposed,
+        polish_improved=polish_improved,
+        polish_delta=polish_delta,
     )
 
 
@@ -176,31 +260,177 @@ def _initial_path(
     return np.array(path, dtype=np.int64)
 
 
-def _path_cost(cost: np.ndarray, path: np.ndarray) -> float:
+def _path_cost(cost: np.ndarray, path) -> float:
     """``d(P) = sum -log w`` along consecutive pairs (vectorised)."""
-    return float(cost[path[:-1], path[1:]].sum())
+    return path_cost(cost, path)
 
 
-def _accept(current: float, candidate: float, temperature: float,
-            generator) -> bool:
-    """Algorithm 3's Boltzmann acceptance rule."""
-    if candidate < current:
-        return True
-    if math.isinf(candidate):
-        return False
-    delta = candidate - current
-    return bool(generator.random() < math.exp(-delta / temperature))
+# ---------------------------------------------------------------------------
+# Annealing kernels
+# ---------------------------------------------------------------------------
 
+def _anneal_incremental(
+    cost: np.ndarray,
+    rows: List[List[float]],
+    diff: List[List[float]],
+    diff_matrix: np.ndarray,
+    initial: np.ndarray,
+    iterations: int,
+    config: SAPSConfig,
+    stream: np.random.Generator,
+) -> Tuple[float, List[int], int, int]:
+    """One restart with incremental move evaluation (the hot path).
+
+    The path lives in a Python list (scalar list-of-lists lookups beat
+    ``ndarray[a, b]`` severalfold in this loop); proposals cost
+    O(1)-O(k) boundary-edge lookups via :mod:`repro.inference.delta`;
+    accepted moves mutate the path in place; random draws come in
+    pre-fetched blocks (bit-identical to the reference kernel's scalar
+    draws).  Requires every off-diagonal cost to be finite — the caller
+    guarantees it.
+    """
+    n = len(initial)
+    path: List[int] = [int(v) for v in initial]
+    current = path_cost(cost, path)
+    best_cost = current
+    best_path = list(path)
+    accepted = 0
+    since_resync = 0
+    temperature = config.temperature
+    cooling = config.cooling_rate
+    resync_every = config.resync_every
+    debug = config.debug_checks
+    exp = math.exp
+
+    def after_accept(delta: float) -> None:
+        nonlocal current, best_cost, best_path, accepted, since_resync
+        current += delta
+        accepted += 1
+        since_resync += 1
+        if debug:
+            resummed = path_cost(cost, path)
+            assert abs(resummed - current) <= 1e-9 * max(1.0, abs(resummed)), (
+                f"incremental cost drifted: running={current!r} "
+                f"recomputed={resummed!r}"
+            )
+        if since_resync >= resync_every:
+            current = path_cost(cost, path)
+            since_resync = 0
+        if current < best_cost:
+            best_cost = current
+            best_path = list(path)
+
+    done = 0
+    while done < iterations:
+        todo = min(iterations - done, _RNG_BLOCK)
+        done += todo
+        # .tolist(): scalar reads from a Python list are ~3x cheaper
+        # than ndarray item access, and this loop reads 10 per iteration.
+        block = stream.random(_DRAWS_PER_ITERATION * todo).tolist()
+        c = 0
+        for _ in range(todo):
+            # Rotate(first, middle, last)
+            first = int(block[c] * (n - 1))
+            last = first + 2 + int(block[c + 1] * (n - first - 1))
+            middle = first + 1 + int(block[c + 2] * (last - first - 1))
+            u = block[c + 3]
+            c += 4
+            delta = rotate_delta(rows, path, first, middle, last)
+            if delta < 0.0 or u < exp(-delta / temperature):
+                path[first:last] = path[middle:last] + path[first:middle]
+                after_accept(delta)
+
+            # Reverse(first, last)
+            first = int(block[c] * (n - 1))
+            last = first + 2 + int(block[c + 1] * (n - first - 1))
+            u = block[c + 2]
+            c += 3
+            delta = reverse_delta(rows, diff, path, first, last,
+                                  diff_matrix=diff_matrix)
+            if delta < 0.0 or u < exp(-delta / temperature):
+                path[first:last] = path[first:last][::-1]
+                after_accept(delta)
+
+            # RandomSwap(i, j)
+            i = int(block[c] * n)
+            j = int(block[c + 1] * n)
+            u = block[c + 2]
+            c += 3
+            delta = swap_delta(rows, path, i, j)
+            if delta < 0.0 or u < exp(-delta / temperature):
+                path[i], path[j] = path[j], path[i]
+                after_accept(delta)
+
+            temperature *= cooling
+            if temperature < 1e-300:
+                temperature = 1e-300
+    return best_cost, best_path, accepted, 3 * iterations
+
+
+def _anneal_reference(
+    cost: np.ndarray,
+    initial: np.ndarray,
+    iterations: int,
+    config: SAPSConfig,
+    stream: np.random.Generator,
+) -> Tuple[float, List[int], int, int]:
+    """One restart with full re-evaluation per proposal.
+
+    Every proposal copies the path and re-sums all ``n - 1`` edges —
+    the pre-optimisation cost model.  Kept as the benchmark baseline,
+    the cross-check oracle, and the only kernel that handles ``+inf``
+    edges (incomplete closures) exactly.
+    """
+    path = initial
+    current = path_cost(cost, path)
+    best_cost = current
+    best_path = path.copy()
+    accepted = 0
+    proposed = 0
+    temperature = config.temperature
+    for _ in range(iterations):
+        for move in (_rotate, _reverse, _random_swap):
+            candidate = move(path, stream)
+            cand_cost = path_cost(cost, candidate)
+            proposed += 1
+            # The acceptance draw is always consumed so both kernels
+            # walk the random stream identically.
+            u = stream.random()
+            if cand_cost < current:
+                accept = True
+            elif math.isinf(cand_cost):
+                accept = False
+            else:
+                accept = bool(
+                    u < math.exp(-(cand_cost - current) / temperature)
+                )
+            if accept:
+                path, current = candidate, cand_cost
+                accepted += 1
+                if current < best_cost:
+                    best_cost = current
+                    best_path = path.copy()
+        temperature *= config.cooling_rate
+        if temperature < 1e-300:
+            temperature = 1e-300
+    return best_cost, [int(v) for v in best_path], accepted, proposed
+
+
+# ---------------------------------------------------------------------------
+# Moves (pure forms: copy, then apply — used by the reference kernel)
+# ---------------------------------------------------------------------------
 
 def _rotate(path: np.ndarray, generator) -> np.ndarray:
-    """Rotate(P, first, middle, last): std::rotate semantics on a slice."""
+    """Rotate(P, first, middle, last): std::rotate semantics on a slice.
+
+    ``_two_indices`` guarantees ``last - first >= 2``, so both blocks
+    are non-empty and no degenerate-span guard is needed.
+    """
     n = len(path)
     first, last = _two_indices(n, generator)
-    if last - first < 2:
-        return path.copy()
-    middle = int(generator.integers(first + 1, last))
+    middle = first + 1 + int(generator.random() * (last - first - 1))
     out = path.copy()
-    out[first:last] = np.concatenate((path[middle:last], path[first:middle]))
+    apply_rotate(out, first, middle, last)
     return out
 
 
@@ -216,15 +446,23 @@ def _reverse(path: np.ndarray, generator) -> np.ndarray:
 def _random_swap(path: np.ndarray, generator) -> np.ndarray:
     """RandomSwap(P, first, last): swap two random positions."""
     n = len(path)
-    i = int(generator.integers(n))
-    j = int(generator.integers(n))
+    i = int(generator.random() * n)
+    j = int(generator.random() * n)
     out = path.copy()
-    out[i], out[j] = out[j], out[i]
+    apply_swap(out, i, j)
     return out
 
 
 def _two_indices(n: int, generator) -> Tuple[int, int]:
-    """Two sorted indices ``0 <= first < last <= n`` spanning >= 2 items."""
-    first = int(generator.integers(0, n - 1))
-    last = int(generator.integers(first + 2, n + 1)) if first + 2 <= n else n
+    """Two slice bounds spanning at least two elements.
+
+    Contract (relied on by every move kernel, checked by the property
+    suite): for any ``n >= 2``, returns ``(first, last)`` with
+    ``0 <= first < last <= n`` and ``last - first >= 2`` — ``first``
+    uniform on ``[0, n-2]``, ``last`` uniform on ``[first+2, n]``.
+    Exactly two floats are consumed from ``generator`` so the
+    incremental kernel can pre-fetch draws in fixed-size blocks.
+    """
+    first = int(generator.random() * (n - 1))
+    last = first + 2 + int(generator.random() * (n - first - 1))
     return first, last

@@ -22,7 +22,7 @@ from .quality import (
     uniform_preset,
 )
 from .worker import SimulatedWorker
-from .pool import WorkerPool
+from .pool import WorkerPool, parallel_map
 from .behaviors import (
     AdversarialWorker,
     LazyWorker,
@@ -43,4 +43,5 @@ __all__ = [
     "uniform_preset",
     "SimulatedWorker",
     "WorkerPool",
+    "parallel_map",
 ]

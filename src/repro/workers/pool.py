@@ -1,8 +1,15 @@
-"""A pool of simulated workers drawn from one quality distribution."""
+"""A pool of simulated workers drawn from one quality distribution.
+
+Also home to :func:`parallel_map`, the library's shared compute-fanout
+helper (used by the SAPS parallel-restart loop among others): the
+"pool" abstractions — crowd workers and compute workers — live
+together here.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Sequence, TypeVar
 
 import numpy as np
 
@@ -95,3 +102,44 @@ class WorkerPool:
             f"WorkerPool(m={len(self._workers)}, "
             f"sigma_mean={sig.mean():.4f}, sigma_max={sig.max():.4f})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Compute fan-out
+# ---------------------------------------------------------------------------
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    max_workers: int,
+) -> List[_R]:
+    """Order-preserving map over a bounded thread pool.
+
+    Results come back in input order regardless of completion order,
+    so a deterministic reduction over them (e.g. "first minimum wins")
+    gives the same answer as a serial loop — the property the SAPS
+    parallel-restart path relies on.  The first exception raised by
+    ``fn`` propagates to the caller.
+
+    With ``max_workers <= 1`` (or fewer than two items) the map runs
+    inline with no pool at all, so the serial path has zero threading
+    overhead.  Workloads should hold the GIL as little as possible
+    (numpy kernels) to actually overlap; pure-Python work degrades to
+    roughly serial speed but stays correct.
+    """
+    if max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    if max_workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(
+        max_workers=min(max_workers, len(items)),
+        thread_name_prefix="repro-map",
+    ) as pool:
+        return list(pool.map(fn, items))

@@ -121,6 +121,64 @@ class TestPropagateWalks:
         covered = propagate_walks(graph.weight_matrix(), 2, ensure_coverage=True)
         assert covered[0, n - 1] > 0.0
 
+    def test_ensure_coverage_matches_per_hop_recheck(self):
+        """The hoisted loop-invariant reachability must not change the
+        result: extend hop by hop with the old per-iteration check and
+        compare."""
+        from repro.graphs.closure import _has_uncovered_reachable
+
+        n = 9
+        graph = WeightedDigraph(n)
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1, 0.8)
+        graph.add_edge(4, 1, 0.3)  # a back edge so walks can revisit
+        weights = graph.weight_matrix()
+        max_hops = 2
+
+        # Pre-hoist semantics: recompute reachability every extension hop.
+        power = weights.copy()
+        expected = np.zeros_like(weights)
+        hop = 1
+        while hop < max_hops:
+            power = power @ weights
+            hop += 1
+            expected += power
+        while hop < n - 1 and _has_uncovered_reachable(
+            weights, expected + weights
+        ):
+            power = power @ weights
+            hop += 1
+            expected += power
+        np.fill_diagonal(expected, 0.0)
+
+        covered = propagate_walks(weights, max_hops, ensure_coverage=True)
+        assert np.array_equal(covered, expected)
+
+    def test_ensure_coverage_computes_reachability_once(self, monkeypatch):
+        """Reachability is loop-invariant: one call per propagate_walks,
+        no matter how many extension hops run."""
+        import repro.graphs.closure as closure_mod
+
+        n = 10
+        graph = WeightedDigraph(n)
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1, 0.9)
+
+        calls = {"count": 0}
+        real = closure_mod._reachability
+
+        def counting(weights):
+            calls["count"] += 1
+            return real(weights)
+
+        monkeypatch.setattr(closure_mod, "_reachability", counting)
+        covered = propagate_walks(graph.weight_matrix(), 2,
+                                  ensure_coverage=True)
+        # The 10-chain needs many extension hops to cover (0, 9) ...
+        assert covered[0, n - 1] > 0.0
+        # ... yet reachability was derived exactly once.
+        assert calls["count"] == 1
+
     def test_zero_diagonal(self, chain):
         walks = propagate_walks(chain.weight_matrix(), max_hops=3)
         assert np.all(np.diagonal(walks) == 0.0)

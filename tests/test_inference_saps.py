@@ -131,6 +131,29 @@ class TestSAPSSearch:
         )
         assert report.restarts == 5
 
+    def test_polish_attribution(self):
+        """A short hot anneal leaves disorder the polish pass removes;
+        the report must attribute exactly that gain to the polish."""
+        matrix = random_closure(20, seed=4)
+        base = dict(iterations=60, restarts=1, temperature=2.0,
+                    cooling_rate=0.9)
+        rough = saps_search_report(
+            matrix, SAPSConfig(**base, polish=False), rng=0
+        )
+        polished = saps_search_report(
+            matrix, SAPSConfig(**base, polish=True), rng=0
+        )
+        assert rough.polish_improved is False
+        assert rough.polish_delta == 0.0
+        assert polished.polish_improved is True
+        assert polished.polish_delta > 0.0
+        assert polished.log_preference == pytest.approx(
+            rough.log_preference + polished.polish_delta
+        )
+        # Polish work must not leak into the anneal counters.
+        assert polished.proposed_moves == rough.proposed_moves
+        assert polished.accepted_moves == rough.accepted_moves
+
     def test_better_temperature_schedule_not_worse(self):
         """Long cold anneal should match or beat a short hot one on the
         final preference (sanity of the Boltzmann machinery)."""

@@ -1,5 +1,5 @@
 """Property-based tests for the inference layer (both truth engines,
-smoothing and the adaptive propagation depth)."""
+smoothing, the adaptive propagation depth and the SAPS move kernel)."""
 
 import numpy as np
 import pytest
@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.config import SmoothingConfig
 from repro.graphs import PreferenceGraph
 from repro.inference.propagation import _adaptive_hops
+from repro.inference.saps import _random_swap, _reverse, _rotate, _two_indices
 from repro.inference.smoothing import smooth_preferences
 from repro.truth import discover_truth, discover_truth_em
 from repro.types import Vote, VoteSet
@@ -67,6 +68,41 @@ class TestSmoothingProperties:
         result.graph.validate(smoothed=True)
         for u, v in graph.one_edges():
             assert result.graph.weight(u, v) >= 0.5
+
+
+class TestSAPSMoveProperties:
+    """The index/move contract every SAPS kernel relies on."""
+
+    @given(st.integers(2, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_two_indices_contract(self, n, seed):
+        """For any n >= 2 (including n=2): 0 <= first < last <= n and
+        the slice spans at least two elements."""
+        generator = np.random.default_rng(seed)
+        for _ in range(10):
+            first, last = _two_indices(n, generator)
+            assert 0 <= first < last <= n
+            assert last - first >= 2
+
+    @given(st.integers(2, 60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_moves_return_permutations(self, n, seed):
+        generator = np.random.default_rng(seed)
+        path = generator.permutation(n)
+        for move in (_rotate, _reverse, _random_swap):
+            candidate = move(path, generator)
+            assert sorted(candidate.tolist()) == list(range(n))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_moves_on_two_elements(self, seed):
+        """n=2 was the boundary the old _rotate guard pretended to
+        handle; all moves must stay well-defined there."""
+        generator = np.random.default_rng(seed)
+        path = np.array([1, 0])
+        for move in (_rotate, _reverse, _random_swap):
+            candidate = move(path, generator)
+            assert sorted(candidate.tolist()) == [0, 1]
 
 
 class TestAdaptiveHops:
