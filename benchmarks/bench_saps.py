@@ -1,4 +1,4 @@
-"""Benchmark: incremental vs reference SAPS annealing kernel.
+"""Benchmark: SAPS annealing kernels and execution backends.
 
 Runs both kernels on the same random complete closures with the same
 seed at several sizes and writes ``BENCH_saps.json`` at the repo root:
@@ -6,6 +6,13 @@ proposals/sec and wall time per kernel, the speedup, and hard equality
 checks (same best ranking, same cost to 1e-9, serial == parallel
 restarts) — so later PRs can track kernel performance and catch any
 divergence between the two implementations.
+
+A second sweep runs one heavy 4-restart workload per size on each
+execution backend (serial / thread / process) and records the
+process-vs-thread speedup: the annealing kernel is pure Python, so
+threads are GIL-bound and the process backend is where parallel
+restarts actually scale.  Rankings must stay bit-identical across
+backends.
 
 ``--smoke`` runs a tiny configuration with ``debug_checks`` on (the
 incremental kernel asserts running-cost == full re-sum after every
@@ -22,6 +29,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -104,6 +112,50 @@ def bench_size(n: int, iterations: int, restarts: int, seed: int,
     }
 
 
+def backend_sweep(n: int, iterations: int, seed: int) -> Dict[str, object]:
+    """One annealing workload (4 restarts) on each execution backend.
+
+    The annealing kernel is pure Python, so the thread backend is
+    GIL-bound (~serial wall time) and the process backend is where the
+    multi-core speedup lives; ``process_vs_thread_speedup`` records it.
+    Rankings must be bit-identical across all three — the backends are
+    a performance knob, never a results knob.
+    """
+    matrix = random_closure(n, seed=n)
+    runs = {}
+    for backend in ("serial", "thread", "process"):
+        config = SAPSConfig(
+            iterations=iterations, restarts=4, scale_with_objects=False,
+            kernel="incremental", parallel_restarts=4, backend=backend,
+        )
+        runs[backend] = run_kernel(matrix, config, seed)
+    identical = all(
+        runs[backend]["ranking"] == runs["serial"]["ranking"]
+        and runs[backend]["log_preference"]
+        == runs["serial"]["log_preference"]
+        for backend in ("thread", "process")
+    )
+    return {
+        "n": n,
+        "iterations": iterations,
+        "restarts": 4,
+        "parallel_restarts": 4,
+        "backends": {
+            backend: {"seconds": run["seconds"],
+                      "proposals_per_s": run["proposals_per_s"]}
+            for backend, run in runs.items()
+        },
+        "process_vs_thread_speedup": round(
+            runs["thread"]["seconds"] / runs["process"]["seconds"], 2),
+        "identical_rankings": identical,
+        # The speedup is bounded by physical parallelism: on a 1-core
+        # host process == thread == serial (all pay the same CPU), and
+        # the number only becomes a multi-core scaling signal when
+        # cpu_count > 1.
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -113,6 +165,11 @@ def main() -> int:
                         help="anneal iterations per restart (default 4000)")
     parser.add_argument("--restarts", type=int, default=2,
                         help="restarts per run (default 2)")
+    parser.add_argument("--sweep-iterations", type=int, default=80000,
+                        help="anneal iterations per restart in the "
+                             "execution-backend sweep (default 80000; "
+                             "heavy on purpose so pool overhead is "
+                             "amortised)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI mode: debug_checks on, asserts "
@@ -152,10 +209,29 @@ def main() -> int:
                 f"(speedup {summary['speedup']}x)"
             )
 
+    # The backend sweep needs enough work per restart that pool
+    # overhead (fork + pickling the closure) is amortised — that is the
+    # regime parallel restarts exist for.  The kernel comparison above
+    # deliberately stays small; this deliberately does not.
+    sweep_iterations = 2000 if args.smoke else args.sweep_iterations
+    sweeps = []
+    for n in sizes:
+        sweep = backend_sweep(n, sweep_iterations, args.seed)
+        sweeps.append(sweep)
+        backends = sweep["backends"]
+        print(f"n={n} backends: "
+              + ", ".join(f"{name} {info['seconds']}s"
+                          for name, info in backends.items())
+              + f" -> process {sweep['process_vs_thread_speedup']}x "
+                f"vs thread, identical={sweep['identical_rankings']}")
+        if not sweep["identical_rankings"]:
+            failures.append(f"n={n}: backends disagree on the ranking")
+
     payload = {
         "generated_utc": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "smoke": args.smoke,
         "workload": {
             "sizes": sizes,
@@ -164,6 +240,7 @@ def main() -> int:
             "seed": args.seed,
         },
         "results": results,
+        "backend_sweep": sweeps,
     }
     if not args.smoke:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

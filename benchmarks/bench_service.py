@@ -8,6 +8,11 @@ Drives the same synthetic scenario workload through (a) the in-process
 and cache hit-rate per mode, so later PRs can track the serving
 overhead and tail latency over time.
 
+A final sweep repeats both modes once per execution backend
+(serial / thread / process) and records each one's p95 — the cost of
+pool overhead and the benefit of process isolation, measured at the
+same workload.
+
 Not collected by pytest (no ``test_`` prefix) — run directly:
 
     PYTHONPATH=src python benchmarks/bench_service.py [--jobs 24] ...
@@ -67,9 +72,10 @@ def summarise(metrics: MetricsRegistry, elapsed: float,
     }
 
 
-def bench_executor(jobs: List[RankingJob], workers: int) -> Dict[str, object]:
+def bench_executor(jobs: List[RankingJob], workers: int,
+                   backend: str = None) -> Dict[str, object]:
     executor = BatchExecutor(workers, cache=ResultCache(),
-                             metrics=MetricsRegistry())
+                             metrics=MetricsRegistry(), backend=backend)
     start = time.perf_counter()
     report = executor.run(jobs)
     elapsed = time.perf_counter() - start
@@ -78,10 +84,10 @@ def bench_executor(jobs: List[RankingJob], workers: int) -> Dict[str, object]:
 
 
 def bench_server(jobs: List[RankingJob], workers: int,
-                 clients: int) -> Dict[str, object]:
+                 clients: int, backend: str = None) -> Dict[str, object]:
     server = RankingServer(ServerConfig(
         port=0, workers=workers, queue_depth=max(2 * clients, 8),
-        default_timeout=300.0,
+        default_timeout=300.0, backend=backend,
     ))
     server.start()
     try:
@@ -132,6 +138,22 @@ def main() -> int:
     print(f"  {server_summary['throughput_jobs_per_s']} jobs/s, "
           f"p95 {server_summary['latency_p95_s']}s")
 
+    # Backend sweep: the same workload per execution backend, through
+    # both the in-process executor and the live HTTP server, so
+    # BENCH_service.json tracks what switching --backend costs (pool
+    # overhead) and buys (multi-core isolation) in p95 terms.
+    executor_backends: Dict[str, Dict[str, object]] = {}
+    server_backends: Dict[str, Dict[str, object]] = {}
+    for backend in ("serial", "thread", "process"):
+        print(f"backend sweep [{backend}] ...")
+        executor_backends[backend] = bench_executor(
+            jobs, args.workers, backend=backend)
+        server_backends[backend] = bench_server(
+            jobs, args.workers, args.clients, backend=backend)
+        print(f"  executor p95 "
+              f"{executor_backends[backend]['latency_p95_s']}s, "
+              f"server p95 {server_backends[backend]['latency_p95_s']}s")
+
     payload = {
         "generated_utc": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -145,6 +167,8 @@ def main() -> int:
         },
         "executor": executor_summary,
         "server": server_summary,
+        "executor_backends": executor_backends,
+        "server_backends": server_backends,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -48,7 +48,7 @@ from .diagnostics import configure_logging
 from .exceptions import ReproError
 from .experiments import run_pipeline_arm
 from .inference import infer_ranking
-from .workers import QualityLevel
+from .workers import BACKEND_CHOICES, QualityLevel
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,10 +68,20 @@ def _build_parser() -> argparse.ArgumentParser:
     verbose_parent.add_argument(
         "-v", "--verbose", action="count", default=argparse.SUPPRESS,
         help=argparse.SUPPRESS)
+    # Shared by every command that fans work out (rank, simulate, batch,
+    # serve): where that work runs.  None defers to $REPRO_BACKEND, then
+    # "thread".
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default=None,
+        help="execution backend for parallel work: 'serial' (inline "
+             "oracle), 'thread' (shared-memory pool), or 'process' "
+             "(multi-core with crash isolation). Default: "
+             "$REPRO_BACKEND, then 'thread'")
     commands = parser.add_subparsers(dest="command", required=True)
 
     rank = commands.add_parser(
-        "rank", parents=[verbose_parent],
+        "rank", parents=[verbose_parent, backend_parent],
         help="infer a full ranking from a votes CSV"
     )
     rank.add_argument("votes_csv", help="CSV with worker_id,winner,loser rows")
@@ -83,10 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--alpha", type=float, default=0.5,
                       help="Step-3 direct/indirect blend (default 0.5)")
     rank.add_argument("--parallel-restarts", type=int, default=1,
-                      metavar="THREADS",
-                      help="worker threads for SAPS restarts; results are "
-                           "identical to serial for the same seed "
-                           "(default 1)")
+                      metavar="LANES",
+                      help="concurrent SAPS restarts, run on --backend; "
+                           "results are identical to serial for the same "
+                           "seed (default 1)")
     rank.add_argument("--top-k", type=int, default=None, metavar="K",
                       help="report only the top-K objects")
     rank.add_argument("--save", metavar="PATH", default=None,
@@ -113,7 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--json", action="store_true")
 
     simulate = commands.add_parser(
-        "simulate", parents=[verbose_parent],
+        "simulate", parents=[verbose_parent, backend_parent],
         help="run one simulated end-to-end experiment"
     )
     simulate.add_argument("n_objects", type=int)
@@ -126,14 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--level", choices=["high", "medium", "low"],
                           default="medium")
     simulate.add_argument("--parallel-restarts", type=int, default=1,
-                          metavar="THREADS",
-                          help="worker threads for SAPS restarts "
+                          metavar="LANES",
+                          help="concurrent SAPS restarts, run on --backend "
                                "(default 1; seed-identical to serial)")
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--json", action="store_true")
 
     batch = commands.add_parser(
-        "batch", parents=[verbose_parent],
+        "batch", parents=[verbose_parent, backend_parent],
         help="run a JSONL file of ranking jobs through the batch service",
     )
     batch.add_argument("jobs_jsonl",
@@ -157,7 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "human summary on stderr")
 
     serve = commands.add_parser(
-        "serve", parents=[verbose_parent],
+        "serve", parents=[verbose_parent, backend_parent],
         help="run the HTTP ranking service (POST /v1/rank, /v1/batch; "
              "GET /healthz, /readyz, /metrics)",
     )
@@ -211,7 +221,8 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         search=args.search,
         propagation=PropagationConfig(alpha=args.alpha),
-        saps=SAPSConfig(parallel_restarts=args.parallel_restarts),
+        saps=SAPSConfig(parallel_restarts=args.parallel_restarts,
+                        backend=args.backend),
     )
     result = infer_ranking(votes, config, rng=args.seed)
     if args.save:
@@ -290,7 +301,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         quality=args.quality, level=QualityLevel(args.level), rng=args.seed,
     )
     config = PipelineConfig(
-        saps=SAPSConfig(parallel_restarts=args.parallel_restarts),
+        saps=SAPSConfig(parallel_restarts=args.parallel_restarts,
+                        backend=args.backend),
     )
     record = run_pipeline_arm(scenario, config, rng=args.seed)
     payload = record.as_row()
@@ -330,6 +342,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts),
         timeout=args.timeout,
         metrics=MetricsRegistry(),
+        backend=args.backend,
     )
     report = executor.run(jobs)
     text = dump_results_jsonl(report.results)
@@ -377,6 +390,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         drain_grace=args.drain_grace,
+        backend=args.backend,
     )
     server = RankingServer(config)
     stop = threading.Event()

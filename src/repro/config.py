@@ -189,11 +189,19 @@ class SAPSConfig:
         Enable it for short/hot annealing schedules or when the
         objective itself is what matters.
     parallel_restarts:
-        Worker threads for the restart loop (1 = run restarts serially,
+        Worker width for the restart loop (1 = run restarts serially,
         the default).  Every restart draws its own child random stream
         from the run RNG up front, so serial and parallel execution
         produce bit-identical best paths for the same seed; the knob
         only changes wall-clock scheduling, never results.
+    backend:
+        Execution backend for the restart loop: ``"serial"``,
+        ``"thread"`` or ``"process"`` (see
+        :mod:`repro.workers.backends`).  ``None`` (default) defers to
+        the ``REPRO_BACKEND`` environment variable, then ``"thread"``.
+        The annealing kernel is pure Python, so only ``"process"``
+        escapes the GIL and uses multiple cores; results are
+        bit-identical across all three for the same seed.
     kernel:
         Move-evaluation strategy: ``"incremental"`` (default) computes
         each proposal's ``d(P') - d(P)`` from the O(1)-O(k) boundary
@@ -225,6 +233,7 @@ class SAPSConfig:
     scale_with_objects: bool = True
     polish: bool = False
     parallel_restarts: int = 1
+    backend: Optional[str] = None
     kernel: str = "incremental"
     resync_every: int = 512
     debug_checks: bool = False
@@ -244,6 +253,12 @@ class SAPSConfig:
             )
         if self.parallel_restarts < 1:
             raise ConfigurationError("parallel_restarts must be >= 1")
+        if self.backend is not None and \
+                self.backend not in ("serial", "thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'serial', 'thread', 'process' or None, "
+                f"got {self.backend!r}"
+            )
         if self.kernel not in ("incremental", "reference"):
             raise ConfigurationError(
                 f"kernel must be 'incremental' or 'reference', got "

@@ -52,3 +52,28 @@ class ConvergenceError(InferenceError):
 
 class DataFormatError(ReproError):
     """An external data file (e.g. AMT CSV export) is malformed."""
+
+
+class ExecutionBackendError(ReproError):
+    """A compute-fanout backend (:mod:`repro.workers.backends`) failed."""
+
+
+class WorkerCrashedError(ExecutionBackendError):
+    """A worker process died (signal, ``os._exit``, OOM kill) mid-task.
+
+    The pool respawns a replacement and keeps running the remaining
+    tasks; the crashed task surfaces this error.  Treated as transient
+    by the batch service's retry classifier — a crash is usually
+    environmental (OOM killer, operator signal), not a property of the
+    task itself.
+    """
+
+
+class TaskTimeoutError(ExecutionBackendError):
+    """A task exceeded the backend's per-task deadline.
+
+    The process backend kills the worker running the task (a real
+    cancellation); the thread backend abandons the worker thread
+    (Python cannot kill threads); the serial backend cannot enforce
+    per-task deadlines at all and never raises this.
+    """

@@ -34,7 +34,11 @@ under either kernel.  Restarts each get their own child stream spawned
 from the run RNG up front, which makes the restart loop embarrassingly
 parallel (``SAPSConfig.parallel_restarts``) without changing results:
 serial and parallel runs reduce the same per-restart outcomes in the
-same order.
+same order.  The restart loop dispatches through
+:mod:`repro.workers.backends` (``SAPSConfig.backend``), so the same
+guarantee extends across the serial, thread and process backends — the
+anneal is pure Python and GIL-bound, which makes the process backend
+the only one that actually uses multiple cores.
 """
 
 from __future__ import annotations
@@ -151,27 +155,20 @@ def saps_search_report(
     off_diagonal = ~np.eye(n, dtype=bool)
     complete = bool(np.isfinite(cost[off_diagonal]).all())
     kernel = config.kernel if complete else "reference"
-    if kernel == "incremental":
-        rows = cost_rows(cost)
-        diff_matrix = reverse_diff_matrix(cost)
-        diff = diff_matrix.tolist()
+    shared = _RestartShared(matrix=matrix, cost=cost, kernel=kernel,
+                            iterations=iterations, config=config)
 
     # One child stream per restart: restarts become order-independent
     # (parallelisable) while staying reproducible from the run RNG.
+    # Each task is a picklable (shared, start, stream) triple, so the
+    # restart loop runs unchanged on the serial, thread and process
+    # backends — scheduling never touches the random streams.
     streams = spawn_rngs(generator, len(start_vertices))
-
-    def run_restart(task):
-        start, stream = task
-        initial = _initial_path(matrix, cost, start, config, stream)
-        if kernel == "reference":
-            return _anneal_reference(cost, initial, iterations, config,
-                                     stream)
-        return _anneal_incremental(cost, rows, diff, diff_matrix, initial,
-                                   iterations, config, stream)
-
-    tasks = list(zip(start_vertices, streams))
-    outcomes = parallel_map(run_restart, tasks,
-                            max_workers=config.parallel_restarts)
+    tasks = [(shared, start, stream)
+             for start, stream in zip(start_vertices, streams)]
+    outcomes = parallel_map(_run_restart, tasks,
+                            max_workers=config.parallel_restarts,
+                            backend=config.backend)
 
     best_cost = math.inf
     best_order: Optional[List[int]] = None
@@ -263,6 +260,78 @@ def _initial_path(
 def _path_cost(cost: np.ndarray, path) -> float:
     """``d(P) = sum -log w`` along consecutive pairs (vectorised)."""
     return path_cost(cost, path)
+
+
+# ---------------------------------------------------------------------------
+# Restart task (module-level so every execution backend can dispatch it)
+# ---------------------------------------------------------------------------
+
+class _RestartShared:
+    """Read-only per-run state shared by every restart task.
+
+    One instance is referenced by all restart tasks: the thread and
+    serial backends share it (and its lazily built incremental-kernel
+    tables) in memory, while the process backend pickles only the raw
+    matrices — the derived tables are rebuilt once per worker process
+    (O(n^2), negligible next to the anneal) rather than shipped over
+    the pipe.
+    """
+
+    __slots__ = ("matrix", "cost", "kernel", "iterations", "config",
+                 "_tables")
+
+    def __init__(self, matrix: np.ndarray, cost: np.ndarray, kernel: str,
+                 iterations: int, config: SAPSConfig):
+        self.matrix = matrix
+        self.cost = cost
+        self.kernel = kernel
+        self.iterations = iterations
+        self.config = config
+        self._tables = None
+
+    def tables(self):
+        """(rows, diff, diff_matrix) for the incremental kernel.
+
+        Built on first use; the single-attribute assignment keeps the
+        lazy initialisation safe under concurrent restart threads.
+        """
+        tables = self._tables
+        if tables is None:
+            diff_matrix = reverse_diff_matrix(self.cost)
+            tables = (cost_rows(self.cost), diff_matrix.tolist(),
+                      diff_matrix)
+            self._tables = tables
+        return tables
+
+    def __getstate__(self):
+        return (self.matrix, self.cost, self.kernel, self.iterations,
+                self.config)
+
+    def __setstate__(self, state):
+        (self.matrix, self.cost, self.kernel, self.iterations,
+         self.config) = state
+        self._tables = None
+
+
+def _run_restart(task) -> Tuple[float, List[int], int, int]:
+    """One anneal restart: ``(shared, start_vertex, stream)`` in,
+    ``(best_cost, best_path, accepted, proposed)`` out.
+
+    Module-level (not a closure) so the process backend can pickle it
+    by reference; both kernels consume ``stream`` identically, so the
+    outcome depends only on the task — never on which backend or worker
+    ran it.
+    """
+    shared, start, stream = task
+    config = shared.config
+    initial = _initial_path(shared.matrix, shared.cost, start, config,
+                            stream)
+    if shared.kernel == "reference":
+        return _anneal_reference(shared.cost, initial, shared.iterations,
+                                 config, stream)
+    rows, diff, diff_matrix = shared.tables()
+    return _anneal_incremental(shared.cost, rows, diff, diff_matrix,
+                               initial, shared.iterations, config, stream)
 
 
 # ---------------------------------------------------------------------------

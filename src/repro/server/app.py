@@ -66,6 +66,7 @@ from urllib.parse import urlsplit
 from .._version import __version__
 from ..diagnostics import get_logger
 from ..exceptions import ConfigurationError, DataFormatError
+from ..workers.backends import BACKEND_CHOICES
 from ..service import (
     BatchExecutor,
     BatchReport,
@@ -128,6 +129,13 @@ class ServerConfig:
     drain_grace:
         Seconds :meth:`RankingServer.stop` waits for in-flight requests
         before closing anyway.
+    backend:
+        Execution backend job attempts run on (``"serial"``,
+        ``"thread"`` or ``"process"``); ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then ``"thread"``.
+        ``"process"`` adds crash isolation: a job that kills its worker
+        comes back as a failed result instead of taking the server down
+        or wedging a slot.
     """
 
     host: str = "127.0.0.1"
@@ -142,6 +150,7 @@ class ServerConfig:
     cache_entries: int = 256
     no_cache: bool = False
     drain_grace: float = 10.0
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -160,6 +169,11 @@ class ServerConfig:
             raise ConfigurationError("max_batch_jobs must be >= 1")
         if self.drain_grace <= 0:
             raise ConfigurationError("drain_grace must be positive")
+        if self.backend is not None and self.backend not in BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"backend must be one of {sorted(BACKEND_CHOICES)} or None, "
+                f"got {self.backend!r}"
+            )
 
 
 class AdmissionGate:
@@ -474,6 +488,7 @@ class RankingServer:
                 retry=self._retry,
                 deadline=deadline,
                 metrics=self._metrics,
+                backend=self._config.backend,
             )
             return executor.run(jobs)
         finally:

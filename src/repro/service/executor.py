@@ -15,17 +15,26 @@ through the inference pipeline over a thread pool, with:
   :class:`~repro.service.metrics.MetricsRegistry`, including the
   per-step latency breakdown aggregated from each result.
 
-Threads (not processes) are the right pool here: results flow straight
-into the shared in-memory cache and metrics registry, the numpy kernels
-in the hot steps release the GIL for the heavy parts, and jobs need no
-pickling.  Per-job seeds keep parallel execution bit-identical to
-serial execution — every attempt builds its own generator from
-``job.seed``, never sharing a stream across jobs.
+Batch fan-out always happens on threads: results flow straight into
+the shared in-memory cache and metrics registry, and jobs need no
+pickling to reach a thread.  The pluggable part is where each
+*attempt*'s actual work runs, selected by the ``backend`` parameter
+(see :mod:`repro.workers.backends`):
 
-Timeout semantics: each attempt runs on a daemon worker thread that is
-*abandoned* (not killed — Python cannot) when the deadline passes.  The
-batch proceeds; the stuck computation keeps a pool-external thread busy
-until it finishes or the process exits.
+* ``serial`` — the whole batch degenerates to a sequential in-thread
+  loop (the determinism oracle);
+* ``thread`` (default) — the attempt runs inline or, when a budget
+  applies, on a daemon thread that is *abandoned* (not killed — Python
+  cannot) when the deadline passes;
+* ``process`` — the attempt runs in a child process: a timed-out
+  worker is genuinely killed, and a crashed worker (segfault,
+  ``os._exit``, OOM kill) surfaces as a transient
+  :class:`~repro.exceptions.WorkerCrashedError` that the retry loop
+  re-runs on a fresh worker instead of hanging the batch.
+
+Per-job seeds keep parallel execution bit-identical to serial
+execution on every backend — each attempt builds its own generator
+from ``job.seed``, never sharing a stream across jobs.
 """
 
 from __future__ import annotations
@@ -34,16 +43,17 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import PipelineConfig
 from ..diagnostics import get_logger
-from ..exceptions import ConfigurationError, ReproError
+from ..exceptions import ConfigurationError, ReproError, TaskTimeoutError
 from ..inference import RankingPipeline
 from ..types import InferenceResult
 from ..workers import QualityLevel
+from ..workers.backends import ExecutionBackend, resolve_backend
 from .cache import ResultCache, fingerprint_job
 from .jobs import JobResult, JobStatus, RankingJob, ScenarioSpec
 from .metrics import MetricsRegistry
@@ -127,6 +137,16 @@ class BatchExecutor:
         Registry to record into (a fresh one is created if omitted);
         exposed as :attr:`metrics` and snapshotted into every
         :class:`BatchReport`.
+    backend:
+        Where each attempt's work runs: ``"serial"``, ``"thread"``,
+        ``"process"``, an :class:`~repro.workers.backends.ExecutionBackend`
+        instance, or ``None`` to defer to the ``REPRO_BACKEND``
+        environment variable (then ``"thread"``).  ``"serial"`` also
+        forces the batch itself to run sequentially.  Note the
+        ``process`` backend executes the canonical attempt body
+        (:func:`_attempt_job`) in the child, so instance-level
+        ``_attempt`` overrides only take effect on the serial/thread
+        paths.
     """
 
     def __init__(
@@ -138,6 +158,7 @@ class BatchExecutor:
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -149,6 +170,12 @@ class BatchExecutor:
         self._timeout = timeout
         self._deadline = deadline
         self._metrics = metrics or MetricsRegistry()
+        self._backend = resolve_backend(backend)
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend attempts run on."""
+        return self._backend
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -174,7 +201,7 @@ class BatchExecutor:
         batch_start = time.perf_counter()
         if not job_list:
             return BatchReport(results=(), metrics=self._metrics.snapshot())
-        if self._workers == 1:
+        if self._workers == 1 or self._backend.name == "serial":
             results = [self._execute(job) for job in job_list]
         else:
             with ThreadPoolExecutor(max_workers=self._workers) as pool:
@@ -325,12 +352,16 @@ class BatchExecutor:
     ) -> Tuple[InferenceResult, Dict[str, object]]:
         """One attempt, bounded by the per-job timeout / run deadline.
 
-        The attempt runs on a daemon thread; if it outlives its budget
-        it is abandoned and :class:`JobTimeoutError` is raised
+        On the process backend the attempt runs in a child process that
+        is genuinely killed at the budget.  On the serial/thread paths
+        a budgeted attempt runs on a daemon thread; if it outlives its
+        budget it is abandoned and :class:`JobTimeoutError` is raised
         (the stray thread cannot poison later jobs — it shares no
         mutable state with them).
         """
         budget = self._attempt_budget()
+        if self._backend.name == "process":
+            return self._attempt_in_process(job, budget)
         if budget is None:
             return self._attempt(job)
         box: List[Tuple[str, object]] = []
@@ -356,21 +387,39 @@ class BatchExecutor:
             raise payload  # type: ignore[misc]
         return payload  # type: ignore[return-value]
 
+    def _attempt_in_process(
+        self, job: RankingJob, budget: Optional[float]
+    ) -> Tuple[InferenceResult, Dict[str, object]]:
+        """One attempt in an isolated worker process.
+
+        A budget overrun kills the worker and raises
+        :class:`JobTimeoutError`; a worker death mid-attempt surfaces
+        as :class:`~repro.exceptions.WorkerCrashedError`, which the
+        default retry classifier treats as transient (the crash may be
+        environmental — OOM kill, operator signal — and a fresh worker
+        gets a clean chance).
+        """
+        try:
+            (value,) = self._backend.map(
+                _attempt_job, [job], max_workers=1, timeout=budget,
+            )
+        except TaskTimeoutError as error:
+            raise JobTimeoutError(
+                f"attempt exceeded {budget:g}s (worker killed)"
+            ) from error
+        return value
+
     def _attempt(
         self, job: RankingJob
     ) -> Tuple[InferenceResult, Dict[str, object]]:
         """Execute the job's actual work once (the monkeypatchable seam).
 
-        Returns the inference result plus job-kind extras.  Votes jobs
-        run the Steps 1-4 pipeline directly; scenario jobs simulate the
-        whole non-interactive round first and additionally report the
-        accuracy against the scenario's latent ground truth.
+        Serial/thread attempts flow through this method, so tests can
+        replace it per instance; process attempts pickle the
+        module-level :func:`_attempt_job` into the child instead (a
+        bound method would drag the executor's locks along).
         """
-        rng = np.random.default_rng(job.seed)
-        if job.votes is not None:
-            pipeline = RankingPipeline(job.config)
-            return pipeline.run(job.votes, rng), {}
-        return self._run_scenario(job, job.scenario, rng)
+        return _attempt_job(job)
 
     @staticmethod
     def _run_scenario(
@@ -401,6 +450,24 @@ class BatchExecutor:
         return outcome.result, {"accuracy": outcome.accuracy}
 
 
+def _attempt_job(
+    job: RankingJob,
+) -> Tuple[InferenceResult, Dict[str, object]]:
+    """The canonical attempt body: run one job's work once.
+
+    Module-level (hence picklable by reference) so the process backend
+    can ship it to a worker.  Votes jobs run the Steps 1-4 pipeline
+    directly; scenario jobs simulate the whole non-interactive round
+    first and additionally report the accuracy against the scenario's
+    latent ground truth.
+    """
+    rng = np.random.default_rng(job.seed)
+    if job.votes is not None:
+        pipeline = RankingPipeline(job.config)
+        return pipeline.run(job.votes, rng), {}
+    return BatchExecutor._run_scenario(job, job.scenario, rng)
+
+
 def run_batch(
     jobs: Iterable[RankingJob],
     *,
@@ -409,10 +476,11 @@ def run_batch(
     retry: Optional[RetryPolicy] = None,
     timeout: Optional[float] = None,
     deadline: Optional[float] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> BatchReport:
     """One-call convenience: build a :class:`BatchExecutor` and run."""
     executor = BatchExecutor(
         workers, cache=cache, retry=retry, timeout=timeout,
-        deadline=deadline,
+        deadline=deadline, backend=backend,
     )
     return executor.run(jobs)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
 
 from ..diagnostics import get_logger
-from ..exceptions import ConfigurationError, ReproError
+from ..exceptions import ConfigurationError, ReproError, WorkerCrashedError
 
 _log = get_logger("service.retry")
 
@@ -91,13 +91,16 @@ def default_is_transient(error: BaseException) -> bool:
     """The service's default transience classifier.
 
     * :class:`TransientJobError` — explicitly transient, retried.
+    * :class:`~repro.exceptions.WorkerCrashedError` — the worker
+      process died (possibly OOM-killed or signalled by the
+      environment), retried on a fresh worker.
     * any other :class:`~repro.exceptions.ReproError` — deterministic
       (bad config, malformed data, infeasible inference), not retried.
     * :class:`ConnectionError` / :class:`OSError` — environmental,
       retried.
     * everything else — assumed deterministic, not retried.
     """
-    if isinstance(error, TransientJobError):
+    if isinstance(error, (TransientJobError, WorkerCrashedError)):
         return True
     if isinstance(error, ReproError):
         return False

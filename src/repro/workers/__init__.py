@@ -22,6 +22,17 @@ from .quality import (
     uniform_preset,
 )
 from .worker import SimulatedWorker
+from .backends import (
+    BACKEND_CHOICES,
+    BACKEND_ENV_VAR,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+)
 from .pool import WorkerPool, parallel_map
 from .behaviors import (
     AdversarialWorker,
@@ -44,4 +55,13 @@ __all__ = [
     "SimulatedWorker",
     "WorkerPool",
     "parallel_map",
+    "BACKEND_CHOICES",
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
 ]

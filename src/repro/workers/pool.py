@@ -8,14 +8,14 @@ together here.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, List, Sequence, TypeVar
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import SeedLike, ensure_rng, spawn_rngs
 from ..types import WorkerId
+from .backends import ExecutionBackend, resolve_backend
 from .quality import QualityDistribution
 from .worker import SimulatedWorker
 
@@ -117,29 +117,36 @@ def parallel_map(
     items: Sequence[_T],
     *,
     max_workers: int,
+    backend: Union[None, str, ExecutionBackend] = None,
+    timeout: Optional[float] = None,
 ) -> List[_R]:
-    """Order-preserving map over a bounded thread pool.
+    """Order-preserving map over a pluggable execution backend.
 
     Results come back in input order regardless of completion order,
     so a deterministic reduction over them (e.g. "first minimum wins")
     gives the same answer as a serial loop — the property the SAPS
-    parallel-restart path relies on.  The first exception raised by
-    ``fn`` propagates to the caller.
+    parallel-restart path relies on.  The exception of the
+    earliest-indexed failing task propagates to the caller on every
+    backend.
 
-    With ``max_workers <= 1`` (or fewer than two items) the map runs
-    inline with no pool at all, so the serial path has zero threading
-    overhead.  Workloads should hold the GIL as little as possible
-    (numpy kernels) to actually overlap; pure-Python work degrades to
-    roughly serial speed but stays correct.
+    ``backend`` selects where tasks run: ``"serial"`` (inline),
+    ``"thread"`` (the default — with ``max_workers <= 1`` or fewer than
+    two items it runs inline with no pool at all, so the serial path
+    keeps zero threading overhead), or ``"process"`` (true multi-core
+    with crash isolation; ``fn``, the items and the results must be
+    picklable).  ``None`` defers to the ``REPRO_BACKEND`` environment
+    variable, then ``"thread"``.  Pure-Python workloads only scale on
+    the process backend — threads share one GIL.
+
+    ``timeout`` bounds each task in seconds where the backend can
+    enforce it (process: worker killed; thread: thread abandoned;
+    serial: unenforced) and surfaces as
+    :class:`~repro.exceptions.TaskTimeoutError`.
     """
     if max_workers < 1:
         raise ConfigurationError(
             f"max_workers must be >= 1, got {max_workers}"
         )
-    if max_workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ThreadPoolExecutor(
-        max_workers=min(max_workers, len(items)),
-        thread_name_prefix="repro-map",
-    ) as pool:
-        return list(pool.map(fn, items))
+    return resolve_backend(backend).map(
+        fn, items, max_workers=max_workers, timeout=timeout,
+    )

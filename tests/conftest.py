@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,31 @@ from repro.datasets import make_scenario
 from repro.experiments.runner import collect_votes
 from repro.types import Ranking, Vote, VoteSet
 from repro.workers import QualityLevel, WorkerPool, gaussian_preset
+
+
+@pytest.fixture
+def hang_guard():
+    """Turn a deadlock into a failure instead of a hung test run.
+
+    The fault-injection tests kill worker processes mid-task; the one
+    failure mode they must never exhibit is an infinite wait on a dead
+    pipe.  ``pytest-timeout`` is not a baked-in dependency of this
+    image, so this fixture provides the same safety net with a plain
+    ``SIGALRM`` (POSIX-only, like the fault tests themselves).
+    """
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            "hang guard expired (120s) — a backend wait deadlocked"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(120)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -12,6 +12,7 @@ from repro.inference.saps import _random_swap, _reverse, _rotate, _two_indices
 from repro.inference.smoothing import smooth_preferences
 from repro.truth import discover_truth, discover_truth_em
 from repro.types import Vote, VoteSet
+from repro.workers import parallel_map
 
 
 @st.composite
@@ -129,3 +130,54 @@ class TestAdaptiveHops:
     )
     def test_known_values(self, n, directed_edges, expected):
         assert _adaptive_hops(n, directed_edges) == expected
+
+
+# Module-level so the process backend can pickle them by reference.
+def _negate(x):
+    return -x
+
+
+def _negate_or_fail(x):
+    if x % 5 == 0 and x != 0:
+        raise ValueError(f"multiple of five: {x}")
+    return -x
+
+
+_ALL_BACKENDS = ("serial", "thread", "process")
+
+
+class TestParallelMapProperties:
+    """The backend contract :mod:`repro.inference.saps` relies on:
+    input-order results and identical earliest-index exception
+    propagation, on every backend, for any input."""
+
+    @given(st.lists(st.integers(-50, 50), max_size=12), st.integers(1, 4))
+    @settings(max_examples=12, deadline=None)
+    def test_order_preserved_on_every_backend(self, items, width):
+        expected = [-x for x in items]
+        for backend in _ALL_BACKENDS:
+            assert parallel_map(_negate, items, max_workers=width,
+                                backend=backend) == expected
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=8),
+           st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_exceptions_propagate_identically(self, items, width):
+        def outcome(backend):
+            try:
+                result = parallel_map(_negate_or_fail, items,
+                                      max_workers=width, backend=backend)
+            except ValueError as error:
+                return ("raised", str(error))
+            return ("ok", result)
+
+        oracle = outcome("serial")
+        assert outcome("thread") == oracle
+        assert outcome("process") == oracle
+
+    @pytest.mark.parametrize("backend", _ALL_BACKENDS)
+    def test_empty_and_single_item(self, backend):
+        assert parallel_map(_negate, [], max_workers=3,
+                            backend=backend) == []
+        assert parallel_map(_negate, [4], max_workers=3,
+                            backend=backend) == [-4]
