@@ -30,12 +30,10 @@ def borda_count(votes: VoteSet, rng: SeedLike = None) -> Ranking:
         raise InferenceError("Borda needs at least one vote")
     generator = ensure_rng(rng)
     n = votes.n_objects
-    wins = np.zeros(n, dtype=np.float64)
-    appearances = np.zeros(n, dtype=np.float64)
-    for vote in votes:
-        wins[vote.winner] += 1.0
-        appearances[vote.winner] += 1.0
-        appearances[vote.loser] += 1.0
+    arrays = votes.arrays()
+    wins = np.bincount(arrays.winner, minlength=n).astype(np.float64)
+    appearances = (np.bincount(arrays.winner, minlength=n)
+                   + np.bincount(arrays.loser, minlength=n)).astype(np.float64)
     with np.errstate(invalid="ignore"):
         rate = np.where(appearances > 0, wins / np.maximum(appearances, 1.0), 0.5)
     jitter = generator.uniform(0.0, 1e-9, size=n)

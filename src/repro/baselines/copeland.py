@@ -8,13 +8,11 @@ benches.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from ..exceptions import InferenceError
 from ..rng import SeedLike, ensure_rng
-from ..types import Pair, Ranking, VoteSet
+from ..types import Ranking, VoteSet
 
 
 def copeland_ranking(votes: VoteSet, rng: SeedLike = None) -> Ranking:
@@ -32,22 +30,19 @@ def copeland_ranking(votes: VoteSet, rng: SeedLike = None) -> Ranking:
         raise InferenceError("Copeland needs at least one vote")
     generator = ensure_rng(rng)
     n = votes.n_objects
-    forward: Dict[Pair, int] = {}
-    total: Dict[Pair, int] = {}
-    for vote in votes:
-        pair = vote.pair
-        forward[pair] = forward.get(pair, 0) + int(vote.winner == pair[0])
-        total[pair] = total.get(pair, 0) + 1
+    arrays = votes.arrays()
+    # forward = #votes preferring the canonical-low object, per pair.
+    forward = np.bincount(arrays.pair_idx, weights=arrays.value,
+                          minlength=arrays.n_pairs)
+    total = np.bincount(arrays.pair_idx, minlength=arrays.n_pairs)
 
     score = np.zeros(n, dtype=np.float64)
-    for (i, j), count in total.items():
-        f = forward[(i, j)]
-        if 2 * f > count:
-            score[i] += 1.0
-            score[j] -= 1.0
-        elif 2 * f < count:
-            score[j] += 1.0
-            score[i] -= 1.0
+    low_wins = 2.0 * forward > total
+    high_wins = 2.0 * forward < total
+    np.add.at(score, arrays.pair_lo[low_wins], 1.0)
+    np.add.at(score, arrays.pair_hi[low_wins], -1.0)
+    np.add.at(score, arrays.pair_hi[high_wins], 1.0)
+    np.add.at(score, arrays.pair_lo[high_wins], -1.0)
     jitter = generator.uniform(0.0, 1e-9, size=n)
     order = np.argsort(-(score + jitter), kind="stable")
     return Ranking(order.tolist())

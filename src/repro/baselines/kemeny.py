@@ -47,9 +47,9 @@ def kemeny_local_search(
         raise InferenceError("Kemeny aggregation needs at least one vote")
     generator = ensure_rng(rng)
     n = votes.n_objects
+    arrays = votes.arrays()
     wins = np.zeros((n, n), dtype=np.float64)
-    for vote in votes:
-        wins[vote.winner, vote.loser] += 1.0
+    np.add.at(wins, (arrays.winner, arrays.loser), 1.0)
 
     order = list(borda_count(votes, generator).order)
 

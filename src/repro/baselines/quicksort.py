@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from ..exceptions import InferenceError
 from ..rng import SeedLike, ensure_rng
 from ..types import Pair, Ranking, VoteSet
@@ -19,13 +21,11 @@ from ..types import Pair, Ranking, VoteSet
 
 def _majority_table(votes: VoteSet) -> Dict[Pair, float]:
     """Vote share for ``i ≺ j`` per canonical pair."""
-    wins: Dict[Pair, float] = {}
-    totals: Dict[Pair, int] = {}
-    for vote in votes:
-        i, j = vote.pair
-        wins[(i, j)] = wins.get((i, j), 0.0) + vote.value_for(i, j)
-        totals[(i, j)] = totals.get((i, j), 0) + 1
-    return {pair: wins[pair] / totals[pair] for pair in totals}
+    arrays = votes.arrays()
+    wins = np.bincount(arrays.pair_idx, weights=arrays.value,
+                       minlength=arrays.n_pairs)
+    totals = np.bincount(arrays.pair_idx, minlength=arrays.n_pairs)
+    return dict(zip(arrays.pairs(), (wins / totals).tolist()))
 
 
 def quicksort_ranking(votes: VoteSet, rng: SeedLike = None) -> Ranking:

@@ -53,9 +53,9 @@ def rank_centrality(
     if len(votes) == 0:
         raise InferenceError("Rank Centrality needs at least one vote")
     n = votes.n_objects
+    arrays = votes.arrays()
     wins = np.zeros((n, n), dtype=np.float64)  # wins[i, j] = #(i beat j)
-    for vote in votes:
-        wins[vote.winner, vote.loser] += 1.0
+    np.add.at(wins, (arrays.winner, arrays.loser), 1.0)
     observed = (wins + wins.T) > 0
     wins = wins + regularization * observed
 

@@ -293,6 +293,15 @@ class PipelineConfig:
     Dawid-Skene-style EM alternative from the same truth-discovery
     family (Sec. VII), which additionally exploits systematically
     inverted workers.
+
+    ``vote_path`` selects the Steps 1-3 implementation: ``"columnar"``
+    (default) hands dense matrices straight through
+    truth vector -> direct matrix -> smoothed matrix -> closure, never
+    materialising a :class:`~repro.graphs.preference_graph.PreferenceGraph`;
+    ``"object"`` is the per-edge graph-object compatibility path.  Both
+    produce bit-identical results (rankings, log-preference, smoothing
+    adjustments) — the object path exists as a cross-check oracle and
+    for callers that want the intermediate graphs.
     """
 
     truth: TruthDiscoveryConfig = field(default_factory=TruthDiscoveryConfig)
@@ -302,6 +311,7 @@ class PipelineConfig:
     taps: TAPSConfig = field(default_factory=TAPSConfig)
     search: str = "saps"
     truth_engine: str = "crh"
+    vote_path: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.search not in ("saps", "taps", "branch_and_bound"):
@@ -313,6 +323,11 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"truth_engine must be 'crh' or 'em', got "
                 f"{self.truth_engine!r}"
+            )
+        if self.vote_path not in ("columnar", "object"):
+            raise ConfigurationError(
+                f"vote_path must be 'columnar' or 'object', got "
+                f"{self.vote_path!r}"
             )
 
     def with_(self, **kwargs) -> "PipelineConfig":

@@ -28,6 +28,12 @@ import numpy as np
 from ..exceptions import GraphError
 from .digraph import WeightedDigraph
 
+__all__ = [
+    "transitive_closure_bool",
+    "propagate_walks",
+    "propagate_exact_paths",
+]
+
 
 def transitive_closure_bool(graph: WeightedDigraph) -> np.ndarray:
     """Boolean reachability matrix of ``graph`` (diagonal False).
@@ -104,14 +110,6 @@ def propagate_walks(
     return indirect
 
 
-def _has_uncovered_reachable(weights: np.ndarray, evidence: np.ndarray) -> bool:
-    """True iff some reachable ordered pair still has zero evidence."""
-    n = weights.shape[0]
-    reachable = _reachability(weights)
-    off_diag = ~np.eye(n, dtype=bool)
-    return bool(np.any(reachable & off_diag & (evidence <= 0.0)))
-
-
 def _reachability(weights: np.ndarray) -> np.ndarray:
     """Boolean reachability of the support graph of ``weights``."""
     adj = weights > 0.0
@@ -138,6 +136,13 @@ def propagate_exact_paths(
     Enumerates every simple path of length 2..``max_length`` (default
     ``n - 1``) by DFS.  Exponential — guarded by ``max_vertices``.
 
+    Successors are visited in ascending vertex order, so the float
+    accumulation order — and therefore the result, to the last ULP — is
+    a function of the edge *weights* alone, independent of the order
+    edges were inserted into ``graph``.  (The pipeline's columnar fast
+    path rebuilds the graph from a dense matrix; this is what keeps it
+    bit-identical to the object path in exact mode.)
+
     Returns the indirect-only weight matrix, zero diagonal.
     """
     n = graph.n_vertices
@@ -150,13 +155,14 @@ def propagate_exact_paths(
     if cap < 2:
         raise GraphError(f"max_length must be >= 2, got {cap}")
 
+    adjacency = [sorted(graph.out_edges(u)) for u in range(n)]
     indirect = np.zeros((n, n), dtype=np.float64)
     for source in range(n):
         on_path = [False] * n
         on_path[source] = True
 
         def dfs(vertex: int, product: float, length: int) -> None:
-            for nxt, w in graph.out_edges(vertex):
+            for nxt, w in adjacency[vertex]:
                 if on_path[nxt]:
                     continue
                 contribution = product * w

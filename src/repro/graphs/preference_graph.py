@@ -61,6 +61,39 @@ class PreferenceGraph(WeightedDigraph):
                 graph.add_edge(j, i, 1.0 - x_ij)
         return graph
 
+    @classmethod
+    def from_matrix(cls, weights: np.ndarray) -> "PreferenceGraph":
+        """Build a preference graph from a dense weight matrix.
+
+        Zero entries mean "no edge" (the paper's convention).  This is
+        the vectorised bridge from the columnar fast path's matrices
+        back to the object representation: adjacency dictionaries are
+        bulk-built row/column-wise instead of going through ``n^2``
+        individual :meth:`add_edge` calls.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        n = weights.shape[0]
+        if weights.ndim != 2 or weights.shape != (n, n):
+            raise GraphError(
+                f"weight matrix must be square, got {weights.shape}"
+            )
+        if np.any(weights < 0.0):
+            raise GraphError("weight matrix entries must be non-negative")
+        if np.any(np.diagonal(weights) != 0.0):
+            raise GraphError("weight matrix must have a zero diagonal")
+        graph = cls(n)
+        count = 0
+        for u in range(n):
+            row = weights[u]
+            nz = np.nonzero(row)[0]
+            graph._succ[u] = dict(zip(nz.tolist(), row[nz].tolist()))
+            col = weights[:, u]
+            nz_in = np.nonzero(col)[0]
+            graph._pred[u] = dict(zip(nz_in.tolist(), col[nz_in].tolist()))
+            count += len(nz)
+        graph._edge_count = count
+        return graph
+
     # -- paper-specific structure -------------------------------------------
     def one_edges(self) -> List[Tuple[int, int]]:
         """All edges of weight 1 (unanimous preferences; Sec. V-B).

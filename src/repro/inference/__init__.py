@@ -11,7 +11,13 @@
 * :mod:`~repro.inference.pipeline` — the end-to-end inference pipeline.
 """
 
-from .smoothing import SmoothingResult, smooth_preferences
+from .smoothing import (
+    MatrixSmoothingResult,
+    SmoothingResult,
+    direct_preference_matrix,
+    smooth_matrix,
+    smooth_preferences,
+)
 from .propagation import propagate_matrix, propagate_preferences
 from .taps import taps_search, branch_and_bound_search
 from .saps import saps_search
@@ -19,7 +25,10 @@ from .local_search import polish_ranking
 from .pipeline import RankingPipeline, infer_ranking
 
 __all__ = [
+    "MatrixSmoothingResult",
     "SmoothingResult",
+    "direct_preference_matrix",
+    "smooth_matrix",
     "smooth_preferences",
     "propagate_matrix",
     "propagate_preferences",

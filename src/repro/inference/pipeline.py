@@ -24,7 +24,7 @@ from ..truth.crh import discover_truth
 from ..truth.dawid_skene import discover_truth_em
 from .propagation import propagate_matrix
 from .saps import saps_search_report
-from .smoothing import smooth_preferences
+from .smoothing import direct_preference_matrix, smooth_matrix, smooth_preferences
 from .taps import branch_and_bound_search, taps_search
 
 _log = get_logger("inference.pipeline")
@@ -59,27 +59,41 @@ class RankingPipeline:
         config = self._config
         step_seconds = {}
 
+        columnar = config.vote_path == "columnar"
+
         # Step 1: truth discovery of direct preferences.
         start = time.perf_counter()
         discover = (discover_truth_em if config.truth_engine == "em"
                     else discover_truth)
         truth = discover(votes, config.truth)
-        direct_graph = PreferenceGraph.from_direct_preferences(
-            votes.n_objects, truth.preferences
-        )
+        if columnar:
+            arrays = votes.arrays()
+            direct = direct_preference_matrix(arrays, truth.preference_vector)
+        else:
+            direct_graph = PreferenceGraph.from_direct_preferences(
+                votes.n_objects, truth.preferences
+            )
         step_seconds["truth_discovery"] = time.perf_counter() - start
 
         # Step 2: smoothing of unanimous edges.
         start = time.perf_counter()
-        smoothing = smooth_preferences(
-            direct_graph, votes, truth.worker_quality, config.smoothing,
-            generator,
-        )
+        if columnar:
+            smoothing = smooth_matrix(
+                direct, truth.preference_vector, arrays,
+                truth.quality_vector, config.smoothing, generator,
+            )
+            smoothed = smoothing.matrix
+        else:
+            smoothing = smooth_preferences(
+                direct_graph, votes, truth.worker_quality, config.smoothing,
+                generator,
+            )
+            smoothed = smoothing.graph
         step_seconds["smoothing"] = time.perf_counter() - start
 
         # Step 3: indirect preferences and normalised complete closure.
         start = time.perf_counter()
-        closure = propagate_matrix(smoothing.graph, config.propagation)
+        closure = propagate_matrix(smoothed, config.propagation)
         step_seconds["propagation"] = time.perf_counter() - start
 
         # Step 4: best-ranking search.

@@ -15,25 +15,37 @@ carries a strictly positive weight), which is what makes Theorem 5.1's
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..config import PropagationConfig
 from ..exceptions import InferenceError
 from ..graphs.closure import propagate_exact_paths, propagate_walks
+from ..graphs.digraph import WeightedDigraph
 from ..graphs.preference_graph import PreferenceGraph
 
 
 def propagate_matrix(
-    smoothed: PreferenceGraph,
+    smoothed: Union[PreferenceGraph, np.ndarray],
     config: Optional[PropagationConfig] = None,
 ) -> np.ndarray:
     """Step 3 as a dense matrix: the normalised complete closure weights.
 
-    This is the high-performance entry point the pipeline uses for large
-    ``n`` (the Step-4 searches consume the matrix directly); see
+    This is the high-performance entry point the pipeline uses (the
+    Step-4 searches consume the matrix directly); see
     :func:`propagate_preferences` for the graph-object wrapper.
+
+    Parameters
+    ----------
+    smoothed:
+        The Step-2 output, either as a :class:`PreferenceGraph` or as
+        its dense weight matrix (the columnar fast path's
+        representation; zero entries mean "no edge").  Both forms
+        produce bit-identical results: the walk kernel operates on the
+        dense matrix either way, and the exact kernel's accumulation
+        order is weight-determined (see
+        :func:`~repro.graphs.closure.propagate_exact_paths`).
 
     Returns
     -------
@@ -42,19 +54,33 @@ def propagate_matrix(
         diagonal, entries clipped inside ``(0, 1)``.
     """
     config = config if config is not None else PropagationConfig()
-    n = smoothed.n_vertices
+    if isinstance(smoothed, np.ndarray):
+        direct = np.asarray(smoothed, dtype=np.float64)
+        if direct.ndim != 2 or direct.shape[0] != direct.shape[1]:
+            raise InferenceError(
+                f"smoothed matrix must be square, got {direct.shape}"
+            )
+        n = direct.shape[0]
+        n_edges = int(np.count_nonzero(direct))
+        graph: Optional[WeightedDigraph] = None
+    else:
+        direct = smoothed.weight_matrix()
+        n = smoothed.n_vertices
+        n_edges = smoothed.n_edges
+        graph = smoothed
     if n < 2:
         raise InferenceError("propagation needs at least 2 objects")
 
-    direct = smoothed.weight_matrix()
     max_hops = config.max_hops
     if max_hops is None:
-        max_hops = _adaptive_hops(n, smoothed.n_edges)
+        max_hops = _adaptive_hops(n, n_edges)
     method = config.method
     if method == "auto":
         method = "exact" if n <= config.exact_threshold else "walks"
     if method == "exact":
-        indirect = propagate_exact_paths(smoothed, max_length=max_hops,
+        if graph is None:
+            graph = WeightedDigraph.from_weight_matrix(direct)
+        indirect = propagate_exact_paths(graph, max_length=max_hops,
                                          max_vertices=max(n, 1))
     else:
         indirect = propagate_walks(direct, max_hops, ensure_coverage=True)
@@ -83,7 +109,7 @@ def propagate_preferences(
         A complete graph with ``w_ij + w_ji = 1`` and
         ``w in [min_clip, 1 - min_clip]`` for every ordered pair.
     """
-    return _matrix_to_graph(propagate_matrix(smoothed, config))
+    return PreferenceGraph.from_matrix(propagate_matrix(smoothed, config))
 
 
 def _adaptive_hops(n: int, n_directed_edges: int) -> int:
@@ -120,14 +146,3 @@ def _normalise_matrix(combined: np.ndarray) -> np.ndarray:
     p = np.clip(p, _MIN_CLIP, 1.0 - _MIN_CLIP)
     np.fill_diagonal(p, 0.0)
     return p
-
-
-def _matrix_to_graph(p: np.ndarray) -> PreferenceGraph:
-    """Materialise a normalised matrix as a complete PreferenceGraph."""
-    n = p.shape[0]
-    graph = PreferenceGraph(n)
-    for i in range(n):
-        for j in range(n):
-            if i != j:
-                graph.add_edge(i, j, float(p[i, j]))
-    return graph

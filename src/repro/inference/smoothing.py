@@ -14,26 +14,49 @@ deterministic expectation ``E|eps| = sigma_k * sqrt(2/pi)`` (default) and
 a sampled draw (the paper's stochastic phrasing).  Only 1-edges are
 touched — the paper smooths nothing else, "aiming to minimize the amounts
 of errors introduced by estimation".
+
+Two implementations are provided:
+
+* :func:`smooth_preferences` — the original object path over a
+  :class:`~repro.graphs.preference_graph.PreferenceGraph`; kept as the
+  compatibility API and as the oracle the fast path is differenced
+  against;
+* :func:`smooth_matrix` — the columnar fast path: identifies 1-edges
+  from the Step-1 truth vector, computes ``sigma_k`` once per distinct
+  worker, and applies every shift with ``np.bincount`` over the
+  pre-flattened vote arrays (:class:`~repro.types.VoteArrays`).
+
+**Sampled-mode RNG draw-order contract.**  Both implementations consume
+exactly one ``|N(0, sigma_k^2)|`` draw per (1-edge, vote) in the same
+order: 1-edges in lexicographic ``(source, target)`` order, and votes
+within an edge in original vote-set order.  ``numpy``'s vectorized
+``Generator.normal(0, sigma_array)`` draws element-wise from the same
+bit stream as the equivalent sequence of scalar calls, so for a fixed
+seed the two paths produce bit-identical shifts.  (The object path
+iterates ``graph.one_edges()``, which for Step-1 graphs built by
+:meth:`PreferenceGraph.from_direct_preferences` over the sorted pair
+table is exactly lexicographic ``(source, target)`` order — pinned by a
+regression test.)
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import SmoothingConfig
 from ..exceptions import InferenceError
-from ..graphs.preference_graph import PreferenceGraph
+from ..graphs.preference_graph import ONE_EDGE_TOLERANCE, PreferenceGraph
 from ..rng import SeedLike, ensure_rng
-from ..types import VoteSet, WorkerId, canonical_pair
+from ..types import VoteArrays, VoteSet, WorkerId, canonical_pair
 
 
 @dataclass(frozen=True)
 class SmoothingResult:
-    """Output of Step 2.
+    """Output of Step 2 (object path).
 
     Attributes
     ----------
@@ -49,6 +72,20 @@ class SmoothingResult:
     """
 
     graph: PreferenceGraph
+    n_one_edges: int
+    adjustments: Dict[Tuple[int, int], float]
+
+
+@dataclass(frozen=True)
+class MatrixSmoothingResult:
+    """Output of Step 2 (columnar fast path).
+
+    Same information as :class:`SmoothingResult` with the graph replaced
+    by its dense weight matrix — the representation Steps 3-4 consume
+    directly.
+    """
+
+    matrix: np.ndarray
     n_one_edges: int
     adjustments: Dict[Tuple[int, int], float]
 
@@ -110,6 +147,9 @@ def smooth_preferences(
     votes_by_pair = votes.by_pair()
     smoothed = graph.copy()
     adjustments: Dict[Tuple[int, int], float] = {}
+    # sigma_k is a pure function of the worker's quality — compute it
+    # once per distinct worker, not once per (edge, vote).
+    sigma_cache: Dict[WorkerId, float] = {}
 
     one_edges = graph.one_edges()
     for u, v in one_edges:
@@ -122,12 +162,15 @@ def smooth_preferences(
             )
         errors: List[float] = []
         for vote in pair_votes:
-            if vote.worker not in worker_quality:
-                raise InferenceError(
-                    f"no quality estimate for worker {vote.worker} "
-                    f"answering pair {pair}"
-                )
-            sigma = worker_sigma(worker_quality[vote.worker], config)
+            sigma = sigma_cache.get(vote.worker)
+            if sigma is None:
+                if vote.worker not in worker_quality:
+                    raise InferenceError(
+                        f"no quality estimate for worker {vote.worker} "
+                        f"answering pair {pair}"
+                    )
+                sigma = worker_sigma(worker_quality[vote.worker], config)
+                sigma_cache[vote.worker] = sigma
             errors.append(_worker_error(sigma, config, generator))
         shift = float(np.mean(errors))
         # A unanimous edge may become uninformative (0.5/0.5) under very
@@ -146,5 +189,150 @@ def smooth_preferences(
     return SmoothingResult(
         graph=smoothed,
         n_one_edges=len(one_edges),
+        adjustments=adjustments,
+    )
+
+
+def direct_preference_matrix(
+    arrays: VoteArrays, truth_vector: np.ndarray
+) -> np.ndarray:
+    """Step-1 output as a dense weight matrix (fast-path ``G_P``).
+
+    The matrix analogue of
+    :meth:`PreferenceGraph.from_direct_preferences`: for each compared
+    pair ``(i, j)`` (canonical ``i < j``) with estimated preference
+    ``x_ij``, entry ``[i, j] = x_ij`` when positive and
+    ``[j, i] = 1 - x_ij`` when ``x_ij < 1``; absent edges stay 0.
+    """
+    x = np.asarray(truth_vector, dtype=np.float64)
+    if x.shape != (arrays.n_pairs,):
+        raise InferenceError(
+            f"truth vector of shape {x.shape} does not match the "
+            f"{arrays.n_pairs}-pair vote table"
+        )
+    if arrays.n_pairs and (float(x.min()) < 0.0 or float(x.max()) > 1.0):
+        raise InferenceError("truth vector entries outside [0, 1]")
+    n = arrays.n_objects
+    matrix = np.zeros((n, n), dtype=np.float64)
+    forward = x > 0.0
+    matrix[arrays.pair_lo[forward], arrays.pair_hi[forward]] = x[forward]
+    reverse = x < 1.0
+    matrix[arrays.pair_hi[reverse], arrays.pair_lo[reverse]] = \
+        1.0 - x[reverse]
+    return matrix
+
+
+def smooth_matrix(
+    direct: np.ndarray,
+    truth_vector: np.ndarray,
+    arrays: VoteArrays,
+    worker_quality: Union[Mapping[WorkerId, float], np.ndarray],
+    config: Optional[SmoothingConfig] = None,
+    rng: SeedLike = None,
+) -> MatrixSmoothingResult:
+    """Vectorized Step 2 over the columnar vote arrays.
+
+    Numerically identical to running :func:`smooth_preferences` on the
+    graph built from the same truth vector (see the module docstring for
+    the sampled-mode draw-order contract; per-edge means via
+    ``np.bincount`` accumulate in the same sequential order as the
+    object path's ``np.mean`` for the realistic <= 8 votes per pair).
+
+    Parameters
+    ----------
+    direct:
+        Dense Step-1 weight matrix (:func:`direct_preference_matrix`);
+        not mutated.
+    truth_vector:
+        Step-1 preference estimates aligned with ``arrays``' pair table
+        — 1-edges are identified directly from it (``x >= 1 - tol`` is
+        a unanimous ``lo -> hi`` edge, ``x <= tol`` a unanimous
+        ``hi -> lo`` edge).
+    arrays:
+        Columnar vote view; every pair in the table carries at least one
+        vote by construction, so the object path's "1-edge without
+        votes" failure mode cannot occur here.
+    worker_quality:
+        Either a quality vector aligned with ``arrays.worker_ids`` or a
+        mapping that must cover every voting worker (the object path
+        only requires quality for workers on unanimous pairs; the fast
+        path checks all of them up front).
+    """
+    config = config if config is not None else SmoothingConfig()
+    generator = ensure_rng(rng)
+    x = np.asarray(truth_vector, dtype=np.float64)
+
+    # sigma_k once per distinct worker, through the same scalar
+    # worker_sigma as the object path (bit-identical clipping and log).
+    if isinstance(worker_quality, np.ndarray):
+        qualities = worker_quality.tolist()
+    else:
+        workers = arrays.workers()
+        missing = [w for w in workers if w not in worker_quality]
+        if missing:
+            raise InferenceError(
+                f"no quality estimate for worker {missing[0]}"
+            )
+        qualities = [worker_quality[w] for w in workers]
+    if len(qualities) != arrays.n_workers:
+        raise InferenceError(
+            f"{len(qualities)} worker qualities for {arrays.n_workers} "
+            "voting workers"
+        )
+    sigma = np.array([worker_sigma(q, config) for q in qualities],
+                     dtype=np.float64)
+
+    # 1-edges from the truth vector, in the object path's draw order:
+    # lexicographic (source, target).
+    one_forward = x >= 1.0 - ONE_EDGE_TOLERANCE
+    one_reverse = (1.0 - x) >= 1.0 - ONE_EDGE_TOLERANCE
+    src = np.concatenate([arrays.pair_lo[one_forward],
+                          arrays.pair_hi[one_reverse]])
+    dst = np.concatenate([arrays.pair_hi[one_forward],
+                          arrays.pair_lo[one_reverse]])
+    pair_of_edge = np.concatenate([np.nonzero(one_forward)[0],
+                                   np.nonzero(one_reverse)[0]])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    pair_of_edge = pair_of_edge[order]
+    n_edges = int(src.shape[0])
+
+    smoothed = np.array(direct, dtype=np.float64, copy=True)
+    if n_edges == 0:
+        return MatrixSmoothingResult(matrix=smoothed, n_one_edges=0,
+                                     adjustments={})
+
+    # Gather each edge's votes, edge-major, original order within edge:
+    # votes stably sorted by pair give contiguous per-pair blocks.
+    by_pair_order = np.argsort(arrays.pair_idx, kind="stable")
+    counts = np.bincount(arrays.pair_idx, minlength=arrays.n_pairs)
+    block_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    lengths = counts[pair_of_edge]
+    out_start = np.cumsum(lengths) - lengths
+    flat = np.arange(int(lengths.sum()))
+    within = flat - np.repeat(out_start, lengths)
+    vote_rows = by_pair_order[np.repeat(block_start[pair_of_edge], lengths)
+                              + within]
+
+    per_vote_sigma = sigma[arrays.worker_idx[vote_rows]]
+    if config.mode == "expected":
+        errors = per_vote_sigma * math.sqrt(2.0 / math.pi)
+    else:
+        errors = np.abs(generator.normal(0.0, per_vote_sigma))
+
+    edge_of_vote = np.repeat(np.arange(n_edges), lengths)
+    shift = (np.bincount(edge_of_vote, weights=errors, minlength=n_edges)
+             / lengths)
+    shift = np.clip(shift, config.min_weight, 0.5)
+
+    smoothed[src, dst] = 1.0 - shift
+    smoothed[dst, src] = shift
+    adjustments = {
+        (u, v): s
+        for u, v, s in zip(src.tolist(), dst.tolist(), shift.tolist())
+    }
+    return MatrixSmoothingResult(
+        matrix=smoothed,
+        n_one_edges=n_edges,
         adjustments=adjustments,
     )

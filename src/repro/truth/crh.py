@@ -56,12 +56,21 @@ class TruthDiscoveryResult:
         Per-iteration convergence record.
     elapsed_seconds:
         Wall-clock time of the iterative loop.
+    preference_vector:
+        The same estimates as ``preferences``, as a dense vector aligned
+        with the vote set's columnar pair table
+        (:meth:`repro.types.VoteSet.arrays`); the pipeline's matrix fast
+        path consumes this directly instead of re-indexing the dict.
+    quality_vector:
+        ``worker_quality`` aligned with the columnar worker table.
     """
 
     preferences: Dict[Pair, float]
     worker_quality: Dict[WorkerId, float]
     trace: ConvergenceTrace
     elapsed_seconds: float = 0.0
+    preference_vector: Optional[np.ndarray] = None
+    quality_vector: Optional[np.ndarray] = None
 
     @property
     def iterations(self) -> int:
@@ -86,21 +95,12 @@ def discover_truth(
         raise InferenceError("cannot discover truth from an empty vote set")
     start = time.perf_counter()
 
-    pairs = votes.pairs()
-    workers = votes.workers()
-    pair_index = {pair: idx for idx, pair in enumerate(pairs)}
-    worker_index = {worker: idx for idx, worker in enumerate(workers)}
-    n_pairs, n_workers = len(pairs), len(workers)
-
-    # Flatten votes into parallel arrays once; the loop is pure numpy.
-    vote_pair = np.empty(len(votes), dtype=np.int64)
-    vote_worker = np.empty(len(votes), dtype=np.int64)
-    vote_value = np.empty(len(votes), dtype=np.float64)
-    for row, vote in enumerate(votes):
-        i, j = vote.pair
-        vote_pair[row] = pair_index[(i, j)]
-        vote_worker[row] = worker_index[vote.worker]
-        vote_value[row] = vote.value_for(i, j)
+    # The columnar view is flattened once and cached on the vote set;
+    # the iteration below is pure numpy over its parallel arrays.
+    arrays = votes.arrays()
+    vote_pair, vote_worker = arrays.pair_idx, arrays.worker_idx
+    vote_value = arrays.value
+    n_pairs, n_workers = arrays.n_pairs, arrays.n_workers
 
     tasks_per_worker = np.bincount(vote_worker, minlength=n_workers)
     # Eq. 5's chi-square numerator depends only on the task count, so it
@@ -160,11 +160,10 @@ def discover_truth(
 
     elapsed = time.perf_counter() - start
     return TruthDiscoveryResult(
-        preferences={pair: float(truth[idx]) for pair, idx in pair_index.items()},
-        worker_quality={
-            worker: float(reported_quality[idx])
-            for worker, idx in worker_index.items()
-        },
+        preferences=dict(zip(arrays.pairs(), truth.tolist())),
+        worker_quality=dict(zip(arrays.workers(), reported_quality.tolist())),
         trace=trace,
         elapsed_seconds=elapsed,
+        preference_vector=truth,
+        quality_vector=reported_quality,
     )

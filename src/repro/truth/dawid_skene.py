@@ -63,20 +63,11 @@ def discover_truth_em(
         raise InferenceError("cannot discover truth from an empty vote set")
     start = time.perf_counter()
 
-    pairs = votes.pairs()
-    workers = votes.workers()
-    pair_index = {pair: idx for idx, pair in enumerate(pairs)}
-    worker_index = {worker: idx for idx, worker in enumerate(workers)}
-    n_pairs, n_workers = len(pairs), len(workers)
-
-    vote_pair = np.empty(len(votes), dtype=np.int64)
-    vote_worker = np.empty(len(votes), dtype=np.int64)
-    vote_value = np.empty(len(votes), dtype=np.float64)
-    for row, vote in enumerate(votes):
-        i, j = vote.pair
-        vote_pair[row] = pair_index[(i, j)]
-        vote_worker[row] = worker_index[vote.worker]
-        vote_value[row] = vote.value_for(i, j)
+    # Columnar vote view, flattened once and cached on the vote set.
+    arrays = votes.arrays()
+    vote_pair, vote_worker = arrays.pair_idx, arrays.worker_idx
+    vote_value = arrays.value
+    n_pairs, n_workers = arrays.n_pairs, arrays.n_workers
 
     tasks_per_worker = np.bincount(vote_worker, minlength=n_workers)
     accuracy = np.full(n_workers, 0.7, dtype=np.float64)
@@ -127,12 +118,10 @@ def discover_truth_em(
 
     elapsed = time.perf_counter() - start
     return TruthDiscoveryResult(
-        preferences={pair: float(posterior[idx])
-                     for pair, idx in pair_index.items()},
-        worker_quality={
-            worker: float(reported_quality[idx])
-            for worker, idx in worker_index.items()
-        },
+        preferences=dict(zip(arrays.pairs(), posterior.tolist())),
+        worker_quality=dict(zip(arrays.workers(), reported_quality.tolist())),
         trace=trace,
         elapsed_seconds=elapsed,
+        preference_vector=posterior,
+        quality_vector=reported_quality,
     )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from ..exceptions import InferenceError
 from ..types import Pair, VoteSet, WorkerId
 
@@ -45,20 +47,27 @@ def weighted_majority_vote(
     """
     if len(votes) == 0:
         raise InferenceError("cannot aggregate an empty vote set")
-    numer: Dict[Pair, float] = {}
-    denom: Dict[Pair, float] = {}
-    for vote in votes:
-        i, j = vote.pair
-        weight = 1.0 if weights is None else float(weights.get(vote.worker, 1.0))
-        if weight < 0:
+    arrays = votes.arrays()
+    if weights is None:
+        per_worker = np.ones(arrays.n_workers, dtype=np.float64)
+    else:
+        # One lookup per distinct worker, not per vote.
+        per_worker = np.array(
+            [float(weights.get(worker, 1.0)) for worker in arrays.workers()],
+            dtype=np.float64,
+        )
+        if np.any(per_worker < 0):
+            bad = int(np.argmax(per_worker < 0))
             raise InferenceError(
-                f"negative weight {weight} for worker {vote.worker}"
+                f"negative weight {per_worker[bad]} for worker "
+                f"{arrays.workers()[bad]}"
             )
-        numer[(i, j)] = numer.get((i, j), 0.0) + weight * vote.value_for(i, j)
-        denom[(i, j)] = denom.get((i, j), 0.0) + weight
-    result: Dict[Pair, float] = {}
-    for pair, total in denom.items():
-        if total <= 0:
-            raise InferenceError(f"all weights zero on pair {pair}")
-        result[pair] = numer[pair] / total
-    return result
+    vote_weight = per_worker[arrays.worker_idx]
+    numer = np.bincount(arrays.pair_idx, weights=vote_weight * arrays.value,
+                        minlength=arrays.n_pairs)
+    denom = np.bincount(arrays.pair_idx, weights=vote_weight,
+                        minlength=arrays.n_pairs)
+    if np.any(denom <= 0):
+        bad = int(np.argmax(denom <= 0))
+        raise InferenceError(f"all weights zero on pair {arrays.pairs()[bad]}")
+    return dict(zip(arrays.pairs(), (numer / denom).tolist()))

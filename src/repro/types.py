@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from .exceptions import ConfigurationError
 
 #: An object identifier (index into the object universe).
@@ -202,12 +204,135 @@ class Ranking:
         return Ranking(ensure_rng(rng).permutation(n))
 
 
+@dataclass(frozen=True, eq=False)
+class VoteArrays:
+    """Columnar (struct-of-arrays) view of a vote set.
+
+    The inference hot path is dominated by re-flattening :class:`Vote`
+    objects in Python loops; this type flattens them **once** into
+    parallel ``numpy`` arrays so Steps 1-3 and the baselines can run as
+    pure array kernels.  Built via :meth:`VoteSet.arrays` (cached on the
+    vote set) or :meth:`from_votes`.
+
+    Per-vote arrays (all of length ``n_votes``, in original vote order):
+
+    * ``winner`` / ``loser`` — raw object ids of each vote;
+    * ``worker_idx`` — index into :attr:`worker_ids`;
+    * ``pair_idx`` — index into the pair table;
+    * ``value`` — the paper's ``x_ij^k``: 1.0 iff the vote prefers the
+      canonical-low object (``winner < loser``).
+
+    Id tables:
+
+    * ``pair_lo`` / ``pair_hi`` — the distinct canonical pairs, sorted
+      lexicographically (matching :meth:`VoteSet.pairs`);
+    * ``worker_ids`` — distinct worker ids, sorted (matching
+      :meth:`VoteSet.workers`).
+
+    All arrays are treated as immutable; callers must not mutate them.
+    """
+
+    n_objects: int
+    winner: np.ndarray
+    loser: np.ndarray
+    worker_idx: np.ndarray
+    pair_idx: np.ndarray
+    value: np.ndarray
+    pair_lo: np.ndarray
+    pair_hi: np.ndarray
+    worker_ids: np.ndarray
+
+    @staticmethod
+    def from_votes(n_objects: int, votes: Sequence[Vote]) -> "VoteArrays":
+        """Flatten a sequence of votes into columnar arrays."""
+        count = len(votes)
+        winner = np.fromiter((v.winner for v in votes), dtype=np.int64,
+                             count=count)
+        loser = np.fromiter((v.loser for v in votes), dtype=np.int64,
+                            count=count)
+        worker = np.fromiter((v.worker for v in votes), dtype=np.int64,
+                             count=count)
+        lo = np.minimum(winner, loser)
+        hi = np.maximum(winner, loser)
+        value = (winner == lo).astype(np.float64)
+        # Encode each canonical pair as one integer so np.unique yields
+        # the pair table already in lexicographic (lo, hi) order.
+        base = int(max(n_objects, (int(hi.max()) + 1) if count else 1))
+        pair_keys, pair_idx = np.unique(lo * base + hi, return_inverse=True)
+        worker_ids, worker_idx = np.unique(worker, return_inverse=True)
+        return VoteArrays(
+            n_objects=n_objects,
+            winner=winner,
+            loser=loser,
+            worker_idx=worker_idx.astype(np.int64, copy=False),
+            pair_idx=pair_idx.astype(np.int64, copy=False),
+            value=value,
+            pair_lo=(pair_keys // base).astype(np.int64, copy=False),
+            pair_hi=(pair_keys % base).astype(np.int64, copy=False),
+            worker_ids=worker_ids,
+        )
+
+    # -- sizes ----------------------------------------------------------------
+    @property
+    def n_votes(self) -> int:
+        return int(self.value.shape[0])
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pair_lo.shape[0])
+
+    @property
+    def n_workers(self) -> int:
+        return int(self.worker_ids.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_votes
+
+    # -- object-layer views ---------------------------------------------------
+    def pairs(self) -> List[Pair]:
+        """The pair table as canonical tuples (sorted, = VoteSet.pairs())."""
+        return list(zip(self.pair_lo.tolist(), self.pair_hi.tolist()))
+
+    def workers(self) -> List[WorkerId]:
+        """Distinct worker ids, sorted (= VoteSet.workers())."""
+        return self.worker_ids.tolist()
+
+    def pair_index(self) -> Dict[Pair, int]:
+        """Mapping canonical pair -> row in the pair table."""
+        return {pair: idx for idx, pair in enumerate(self.pairs())}
+
+    def worker_index(self) -> Dict[WorkerId, int]:
+        """Mapping worker id -> row in the worker table."""
+        return {worker: idx for idx, worker in enumerate(self.workers())}
+
+    def to_votes(self) -> Tuple[Vote, ...]:
+        """Reconstruct the original votes (order preserved; round-trip)."""
+        return tuple(
+            Vote(worker=w, winner=win, loser=lose)
+            for w, win, lose in zip(
+                self.worker_ids[self.worker_idx].tolist(),
+                self.winner.tolist(),
+                self.loser.tolist(),
+            )
+        )
+
+    def to_vote_set(self) -> "VoteSet":
+        """Reconstruct an equal :class:`VoteSet` (round-trip)."""
+        return VoteSet(n_objects=self.n_objects, votes=self.to_votes())
+
+
 @dataclass(frozen=True)
 class VoteSet:
     """All votes collected in one crowdsourcing round, with fast grouping.
 
     This is the interchange format between the platform simulator and every
     inference algorithm (ours and the baselines).
+
+    The grouping accessors (:meth:`pairs`, :meth:`workers`,
+    :meth:`by_pair`, :meth:`by_worker`) and the columnar view
+    (:meth:`arrays`) are memoized — the dataclass is frozen, so the
+    derived structures can never go stale.  Callers must treat the
+    returned containers as read-only.
     """
 
     n_objects: int
@@ -224,27 +349,64 @@ class VoteSet:
     def __iter__(self) -> Iterator[Vote]:
         return iter(self.votes)
 
+    def _memo(self, key: str, build):
+        """Per-instance memo table; safe because the dataclass is frozen."""
+        cache = self.__dict__.get("_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_cache", cache)
+        if key not in cache:
+            cache[key] = build()
+        return cache[key]
+
+    def __getstate__(self):
+        # Keep pickles (process-backend dispatch, cache spills) lean:
+        # the memoized views are derived data and rebuild on demand.
+        return {"n_objects": self.n_objects, "votes": self.votes}
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "n_objects", state["n_objects"])
+        object.__setattr__(self, "votes", state["votes"])
+
+    def arrays(self) -> VoteArrays:
+        """The columnar view of these votes, flattened once and cached."""
+        return self._memo(
+            "arrays", lambda: VoteArrays.from_votes(self.n_objects, self.votes)
+        )
+
     def by_pair(self) -> Dict[Pair, List[Vote]]:
-        """Group votes by their canonical comparison pair."""
-        grouped: Dict[Pair, List[Vote]] = {}
-        for vote in self.votes:
-            grouped.setdefault(vote.pair, []).append(vote)
-        return grouped
+        """Group votes by their canonical comparison pair (memoized)."""
+
+        def build() -> Dict[Pair, List[Vote]]:
+            grouped: Dict[Pair, List[Vote]] = {}
+            for vote in self.votes:
+                grouped.setdefault(vote.pair, []).append(vote)
+            return grouped
+
+        return self._memo("by_pair", build)
 
     def by_worker(self) -> Dict[WorkerId, List[Vote]]:
-        """Group votes by the worker who cast them."""
-        grouped: Dict[WorkerId, List[Vote]] = {}
-        for vote in self.votes:
-            grouped.setdefault(vote.worker, []).append(vote)
-        return grouped
+        """Group votes by the worker who cast them (memoized)."""
+
+        def build() -> Dict[WorkerId, List[Vote]]:
+            grouped: Dict[WorkerId, List[Vote]] = {}
+            for vote in self.votes:
+                grouped.setdefault(vote.worker, []).append(vote)
+            return grouped
+
+        return self._memo("by_worker", build)
 
     def workers(self) -> List[WorkerId]:
         """Sorted list of distinct worker ids appearing in the votes."""
-        return sorted({v.worker for v in self.votes})
+        return self._memo(
+            "workers", lambda: sorted({v.worker for v in self.votes})
+        )
 
     def pairs(self) -> List[Pair]:
         """Sorted list of distinct canonical pairs appearing in the votes."""
-        return sorted({v.pair for v in self.votes})
+        return self._memo(
+            "pairs", lambda: sorted({v.pair for v in self.votes})
+        )
 
 
 @dataclass(frozen=True)

@@ -123,9 +123,9 @@ class TestPropagateWalks:
 
     def test_ensure_coverage_matches_per_hop_recheck(self):
         """The hoisted loop-invariant reachability must not change the
-        result: extend hop by hop with the old per-iteration check and
-        compare."""
-        from repro.graphs.closure import _has_uncovered_reachable
+        result: extend hop by hop with a per-iteration uncovered-pair
+        check and compare."""
+        from repro.graphs.closure import _reachability
 
         n = 9
         graph = WeightedDigraph(n)
@@ -135,7 +135,9 @@ class TestPropagateWalks:
         weights = graph.weight_matrix()
         max_hops = 2
 
-        # Pre-hoist semantics: recompute reachability every extension hop.
+        # Pre-hoist semantics: re-derive the uncovered set every
+        # extension hop (reachability itself is loop-invariant).
+        reachable = _reachability(weights) & ~np.eye(n, dtype=bool)
         power = weights.copy()
         expected = np.zeros_like(weights)
         hop = 1
@@ -143,8 +145,8 @@ class TestPropagateWalks:
             power = power @ weights
             hop += 1
             expected += power
-        while hop < n - 1 and _has_uncovered_reachable(
-            weights, expected + weights
+        while hop < n - 1 and bool(
+            np.any(reachable & (expected + weights <= 0.0))
         ):
             power = power @ weights
             hop += 1
