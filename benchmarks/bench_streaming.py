@@ -1,0 +1,263 @@
+"""Benchmark: incremental session updates vs full batch recompute.
+
+Two experiments over the synthetic scenario suite, written to
+``BENCH_streaming.json`` at the repo root:
+
+1. **Per-vote latency** — prime a :class:`repro.streaming.RankingSession`
+   with a scenario's vote pool, then time single-vote ingests (warm
+   Steps 1-4 on the incremental path) against a full batch recompute of
+   the same pool.  The acceptance bar: at n=200 the incremental update
+   is at least **5x** faster than the recompute.
+
+2. **Votes-to-stable** — replay the same vote stream into two sessions,
+   early stopping on and off, and record how many votes the stability
+   verdict saves and the final accuracy of both against ground truth.
+   The bar: early stopping must save votes without costing accuracy
+   (final accuracy within 0.05 of the run-to-exhaustion session).
+
+Every run also hard-checks the differential contract: the session's
+non-warm ``recompute()`` must be bit-identical to the batch pipeline on
+the identical final vote pool.
+
+``--smoke`` runs one tiny size with the identity/accuracy checks only
+(no file written, no timing thresholds — CI boxes are noisy) and exits
+non-zero on any violation.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--sizes 50 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.config import PipelineConfig
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+from repro.inference import RankingPipeline
+from repro.metrics import ranking_accuracy
+from repro.rng import ensure_rng
+from repro.streaming import RankingSession, SessionConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Single-vote ingests timed per (size, seed) in the latency experiment.
+TIMED_VOTES = 10
+
+
+def make_workload(n: int, seed: int, ratio: float):
+    scenario = make_scenario(
+        n, ratio, n_workers=max(10, n // 5), workers_per_task=5,
+        level="high", rng=seed,
+    )
+    votes = list(collect_votes(scenario, rng=seed).votes)
+    return scenario, votes
+
+
+def bench_latency(n: int, seed: int, warm_iterations: int,
+                  ratio: float) -> Dict[str, object]:
+    """Per-vote incremental latency vs a full batch recompute."""
+    _, votes = make_workload(n, seed, ratio)
+    config = SessionConfig(
+        pipeline=PipelineConfig(), seed=seed,
+        warm_iterations=warm_iterations, early_stop=False,
+    )
+    session = RankingSession(f"lat-{n}-{seed}", n, config)
+    session.ingest(votes[:-TIMED_VOTES])  # prime (one full update)
+
+    latencies = []
+    for vote in votes[-TIMED_VOTES:]:
+        start = time.perf_counter()
+        session.ingest([vote])
+        latencies.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    recomputed = session.recompute()
+    recompute_seconds = time.perf_counter() - start
+
+    # Differential contract: recompute == batch pipeline, bit for bit.
+    batch = RankingPipeline(config.pipeline).run(
+        session.buffer.to_vote_set(), ensure_rng(seed)
+    )
+    identical = (
+        list(recomputed.ranking.order) == list(batch.ranking.order)
+        and recomputed.log_preference == batch.log_preference
+    )
+
+    mean_latency = statistics.mean(latencies)
+    return {
+        "seed": seed,
+        "n_votes": len(votes),
+        "timed_votes": TIMED_VOTES,
+        "incremental_mean_seconds": round(mean_latency, 5),
+        "incremental_max_seconds": round(max(latencies), 5),
+        "full_recompute_seconds": round(recompute_seconds, 5),
+        "speedup": round(recompute_seconds / max(mean_latency, 1e-12), 1),
+        "updates_incremental": session.updates_incremental,
+        "recompute_identical_to_batch": identical,
+    }
+
+
+def bench_early_stop(n: int, seed: int, warm_iterations: int,
+                     ratio: float, chunk: int) -> Dict[str, object]:
+    """Votes-to-stable with early stopping on vs off."""
+    scenario, votes = make_workload(n, seed, ratio)
+    pipeline = PipelineConfig()
+
+    def replay(early_stop: bool) -> RankingSession:
+        session = RankingSession(
+            f"stab-{n}-{seed}-{early_stop}", n,
+            SessionConfig(
+                pipeline=pipeline, seed=seed,
+                warm_iterations=warm_iterations, early_stop=early_stop,
+                stability_window=4, stability_threshold=0.02,
+                min_votes=len(votes) // 4,
+            ),
+        )
+        for start in range(0, len(votes), chunk):
+            session.ingest(votes[start:start + chunk])
+            if session.stopped:
+                break
+        return session
+
+    stopped = replay(early_stop=True)
+    exhausted = replay(early_stop=False)
+    accuracy_stopped = ranking_accuracy(scenario.ground_truth,
+                                        stopped.ranking)
+    accuracy_exhausted = ranking_accuracy(scenario.ground_truth,
+                                          exhausted.ranking)
+    return {
+        "seed": seed,
+        "total_votes": len(votes),
+        "chunk": chunk,
+        "votes_to_stable": stopped.votes_ingested,
+        "stopped_early": stopped.stopped,
+        "votes_saved": len(votes) - stopped.votes_ingested,
+        "accuracy_at_stop": round(accuracy_stopped, 4),
+        "accuracy_exhausted": round(accuracy_exhausted, 4),
+        "accuracy_delta": round(accuracy_stopped - accuracy_exhausted, 4),
+    }
+
+
+def bench_size(n: int, seeds: List[int], warm_iterations: int,
+               ratio: float, chunk: int) -> Dict[str, object]:
+    latency = [bench_latency(n, seed, warm_iterations, ratio)
+               for seed in seeds]
+    stability = [bench_early_stop(n, seed, warm_iterations, ratio, chunk)
+                 for seed in seeds]
+    return {
+        "n": n,
+        "selection_ratio": ratio,
+        "latency": latency,
+        "speedup_min": min(e["speedup"] for e in latency),
+        "speedup_max": max(e["speedup"] for e in latency),
+        "recompute_identical": all(e["recompute_identical_to_batch"]
+                                   for e in latency),
+        "early_stopping": stability,
+        "votes_saved_total": sum(e["votes_saved"] for e in stability),
+        "accuracy_delta_worst": min(e["accuracy_delta"]
+                                    for e in stability),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[50, 200],
+                        help="object-universe sizes (default 50 200)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                        help="workload seeds per size (default 0 1 2)")
+    parser.add_argument("--ratio", type=float, default=0.3,
+                        help="selection ratio of the scenarios")
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="votes per update in the early-stop replay "
+                             "(default: total/20)")
+    parser.add_argument("--warm-iterations", type=int, default=2000,
+                        help="SAPS budget of warm updates (default 2000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI mode: identity/accuracy checks "
+                             "only, no file written, no timing bars")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_streaming.json"),
+                        help="output path "
+                             "(default <repo>/BENCH_streaming.json)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        sizes: List[int] = [30]
+        seeds = [0]
+    else:
+        sizes = args.sizes
+        seeds = args.seeds
+
+    results = []
+    failures = []
+    for n in sizes:
+        chunk = args.chunk or max(1, (n * 40) // 20)
+        summary = bench_size(n, seeds, args.warm_iterations, args.ratio,
+                             chunk)
+        results.append(summary)
+        saved = summary["votes_saved_total"]
+        print(f"n={n}: incremental speedup {summary['speedup_min']}x"
+              f"-{summary['speedup_max']}x vs full recompute; "
+              f"early stop saved {saved} votes "
+              f"(worst accuracy delta {summary['accuracy_delta_worst']}); "
+              f"recompute identical={summary['recompute_identical']}")
+        if not summary["recompute_identical"]:
+            failures.append(
+                f"n={n}: session recompute diverged from the batch "
+                "pipeline"
+            )
+        if summary["accuracy_delta_worst"] < -0.05:
+            failures.append(
+                f"n={n}: early stopping cost "
+                f"{-summary['accuracy_delta_worst']:.3f} accuracy "
+                "(> 0.05 bar)"
+            )
+    if not args.smoke:
+        for summary in results:
+            if summary["n"] >= 200 and summary["speedup_min"] < 5.0:
+                failures.append(
+                    f"n={summary['n']}: incremental speedup "
+                    f"{summary['speedup_min']}x below the 5x bar"
+                )
+        if not any(s["n"] >= 200 for s in results):
+            failures.append("no n>=200 size benched; the 5x acceptance "
+                            "bar was not exercised")
+
+    payload = {
+        "generated_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "workload": {
+            "sizes": sizes,
+            "seeds": seeds,
+            "selection_ratio": args.ratio,
+            "warm_iterations": args.warm_iterations,
+            "timed_votes": TIMED_VOTES,
+        },
+        "results": results,
+        "failures": failures,
+    }
+    if not args.smoke:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,13 @@ from .service import (
 )
 from .server import RankingServer, ServerConfig
 from .client import RankingClient, ServerError, ServerUnavailableError
+from .streaming import (
+    RankingSession,
+    SessionConfig,
+    SessionManager,
+    StabilityMonitor,
+    VoteBuffer,
+)
 
 __all__ = [
     "__version__",
@@ -95,4 +102,9 @@ __all__ = [
     "RankingClient",
     "ServerError",
     "ServerUnavailableError",
+    "RankingSession",
+    "SessionConfig",
+    "SessionManager",
+    "StabilityMonitor",
+    "VoteBuffer",
 ]

@@ -24,6 +24,12 @@ The commands cover the library's main entry points:
     threaded HTTP JSON API with backpressure, health/readiness probes,
     Prometheus metrics and graceful drain on SIGTERM/SIGINT.
 
+``stream``
+    Replay a JSONL vote log through a live incremental ranking session
+    (:mod:`repro.streaming`) — locally, or against a running server —
+    re-inferring after every chunk and early-stopping once the ranking
+    stabilises.
+
 ``reproduce``
     Regenerate a paper artifact's data series.
 
@@ -200,6 +206,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="seconds to wait for in-flight requests on "
                             "shutdown (default 10)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="cap on live streaming sessions (default 64)")
+    serve.add_argument("--session-ttl", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="idle seconds before a session is evictable; "
+                            "0 disables TTL eviction (default 3600)")
+
+    stream = commands.add_parser(
+        "stream", parents=[verbose_parent],
+        help="replay a JSONL vote log through an incremental ranking "
+             "session (early-stops once stable)",
+    )
+    stream.add_argument("votes_jsonl",
+                        help="JSONL vote log ([worker, winner, loser] "
+                             "lines); '-' reads stdin")
+    stream.add_argument("--n-objects", type=int, required=True,
+                        help="object-universe size")
+    stream.add_argument("--chunk", type=int, default=1,
+                        help="votes ingested per incremental update "
+                             "(default 1)")
+    stream.add_argument("--window", type=int, default=5,
+                        help="stability window in updates (default 5)")
+    stream.add_argument("--threshold", type=float, default=0.02,
+                        help="rolling Kendall-distance threshold "
+                             "(default 0.02)")
+    stream.add_argument("--min-votes", type=int, default=0,
+                        help="votes before early stopping may trigger")
+    stream.add_argument("--no-early-stop", action="store_true",
+                        help="keep ingesting after the session stabilises")
+    stream.add_argument("--warm-iterations", type=int, default=1500,
+                        help="SAPS iterations per incremental update "
+                             "(default 1500)")
+    stream.add_argument("--url", metavar="URL", default=None,
+                        help="replay against a running repro server "
+                             "instead of in-process")
+    stream.add_argument("--save-session", metavar="PATH", default=None,
+                        help="write the final session snapshot as JSON "
+                             "(local mode only)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
 
     reproduce = commands.add_parser(
         "reproduce", parents=[verbose_parent],
@@ -391,6 +438,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         drain_grace=args.drain_grace,
         backend=args.backend,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl if args.session_ttl > 0 else None,
     )
     server = RankingServer(config)
     stop = threading.Event()
@@ -415,6 +464,139 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("stopped" + ("" if drained else " (drain grace expired)"),
           file=sys.stderr, flush=True)
     return 0 if drained else 1
+
+
+def _read_vote_log(path: str) -> list:
+    """Parse a JSONL vote log: one ``[worker, winner, loser]`` triple
+    (or object with those keys) per line; ``-`` reads stdin."""
+    from .exceptions import DataFormatError
+    from .streaming import votes_from_payload
+
+    name = "<stdin>" if path == "-" else path
+    try:
+        handle = sys.stdin if path == "-" else open(path)
+    except OSError as error:
+        raise DataFormatError(f"cannot read {name}: {error}") from None
+    votes = []
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                item = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DataFormatError(
+                    f"{name}:{lineno}: invalid JSON ({error})"
+                ) from None
+            votes.extend(votes_from_payload([item],
+                                            source=f"{name}:{lineno}"))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if not votes:
+        raise DataFormatError(f"{name}: vote log is empty")
+    return votes
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .exceptions import ConfigurationError
+
+    if args.chunk < 1:
+        raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
+    votes = _read_vote_log(args.votes_jsonl)
+    chunks = [votes[i:i + args.chunk]
+              for i in range(0, len(votes), args.chunk)]
+    if args.url is not None:
+        view, replayed = _stream_remote(args, chunks)
+    else:
+        view, replayed = _stream_local(args, chunks)
+    view["votes_replayed"] = replayed
+    view["votes_total"] = len(votes)
+    if args.json:
+        print(json.dumps(view, indent=2))
+    else:
+        score = view.get("stability_score")
+        updates = view["updates"]
+        n_updates = updates["full"] + updates["incremental"]
+        print(f"replayed {replayed}/{len(votes)} votes in {n_updates} "
+              f"updates — verdict: {view['verdict']}"
+              + (f" (stability {score:.4f})" if score is not None else ""))
+        print(f"ranking (most preferred first): {view['ranking']}")
+        print(f"updates: {updates['full']} full, "
+              f"{updates['incremental']} incremental, "
+              f"{updates['damped_restarts']} damped restarts")
+        if replayed < len(votes):
+            saved = len(votes) - replayed
+            print(f"early stop saved {saved} votes "
+                  f"({saved / len(votes):.0%} of the log)",
+                  file=sys.stderr)
+    return 0
+
+
+def _stream_local(args: argparse.Namespace, chunks: list):
+    from .streaming import RankingSession, SessionConfig, session_to_payload
+
+    config = SessionConfig(
+        seed=args.seed,
+        stability_window=args.window,
+        stability_threshold=args.threshold,
+        min_votes=args.min_votes,
+        early_stop=not args.no_early_stop,
+        warm_iterations=args.warm_iterations,
+    )
+    session = RankingSession("cli-stream", args.n_objects, config)
+    replayed = 0
+    for chunk in chunks:
+        report = session.ingest(chunk)
+        replayed += len(chunk)
+        print(f"  {replayed:>6} votes  mode={report.mode:<11} "
+              f"verdict={session.verdict}", file=sys.stderr, flush=True)
+        if session.stopped:
+            break
+    if args.save_session:
+        from .io import save_payload
+
+        save_payload(session_to_payload(session), args.save_session)
+        print(f"session snapshot written to {args.save_session}",
+              file=sys.stderr)
+    return session.view(), replayed
+
+
+def _stream_remote(args: argparse.Namespace, chunks: list):
+    from .client import RankingClient, ServerError
+    from .exceptions import ConfigurationError
+
+    if args.save_session:
+        raise ConfigurationError(
+            "--save-session only applies to local replay (drop --url)"
+        )
+    client = RankingClient(args.url)
+    config = {
+        "seed": args.seed,
+        "stability_window": args.window,
+        "stability_threshold": args.threshold,
+        "min_votes": args.min_votes,
+        "early_stop": not args.no_early_stop,
+        "warm_iterations": args.warm_iterations,
+    }
+    view = client.create_session(args.n_objects, config=config)
+    session_id = view["session_id"]
+    replayed = 0
+    for chunk in chunks:
+        try:
+            view = client.submit_votes(session_id, chunk)
+        except ServerError as error:
+            if error.status == 409:  # stopped between chunks
+                break
+            raise
+        replayed += len(chunk)
+        print(f"  {replayed:>6} votes  mode={view.get('update_mode', '?'):<11} "
+              f"verdict={view['verdict']}", file=sys.stderr, flush=True)
+        if view["verdict"] == "stopped":
+            break
+    view = client.session_ranking(session_id)
+    return view, replayed
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -487,6 +669,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "stream": _cmd_stream,
         "reproduce": _cmd_reproduce,
     }
     try:

@@ -37,7 +37,7 @@ from .service import (
     job_to_payload,
 )
 from .service.jobs import config_from_payload
-from .types import VoteSet
+from .types import Vote, VoteSet
 
 
 class ServerError(ReproError):
@@ -171,6 +171,61 @@ class RankingClient:
             job_result_from_payload(item, source=f"/v1/batch results[{i}]")
             for i, item in enumerate(decoded.get("results", []))
         ]
+
+    # -- streaming sessions -------------------------------------------------
+
+    def create_session(
+        self,
+        n_objects: int,
+        *,
+        config: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Create a live ranking session (``POST /v1/sessions``).
+
+        ``config`` is the JSON session-config shape (an optional
+        ``"pipeline"`` sub-dict plus flat knobs like
+        ``stability_window``); the returned view dict carries the
+        server-assigned ``session_id``.
+        """
+        body: Dict[str, object] = {"n_objects": n_objects}
+        if config is not None:
+            body["config"] = config
+        raw = self._request("POST", "/v1/sessions", body,
+                            ok_status=(201,))
+        return json.loads(raw)
+
+    def submit_votes(
+        self,
+        session_id: str,
+        votes: Iterable[Union[Vote, tuple, list]],
+    ) -> Dict[str, object]:
+        """Stream votes into a session and get the updated view back.
+
+        Accepts :class:`~repro.types.Vote` objects or raw
+        ``(worker, winner, loser)`` triples.  An early-stopped session
+        answers 409, surfaced as :class:`ServerError` with that status.
+        """
+        encoded = [
+            [v.worker, v.winner, v.loser] if isinstance(v, Vote)
+            else list(v)
+            for v in votes
+        ]
+        raw = self._request(
+            "POST", f"/v1/sessions/{session_id}/votes",
+            {"votes": encoded},
+        )
+        return json.loads(raw)
+
+    def session_ranking(self, session_id: str) -> Dict[str, object]:
+        """The session's current view (``GET .../ranking``): ranking
+        order, verdict, stability score and update counters."""
+        raw = self._request("GET", f"/v1/sessions/{session_id}/ranking")
+        return json.loads(raw)
+
+    def delete_session(self, session_id: str) -> Dict[str, object]:
+        """Tear a session down (``DELETE /v1/sessions/{id}``)."""
+        raw = self._request("DELETE", f"/v1/sessions/{session_id}")
+        return json.loads(raw)
 
     # -- transport ----------------------------------------------------------
 

@@ -77,3 +77,23 @@ class TaskTimeoutError(ExecutionBackendError):
     (Python cannot kill threads); the serial backend cannot enforce
     per-task deadlines at all and never raises this.
     """
+
+
+class SessionError(ReproError):
+    """A streaming ranking session operation failed."""
+
+
+class SessionNotFoundError(SessionError):
+    """The requested session id is unknown (never created or evicted)."""
+
+
+class SessionStoppedError(SessionError):
+    """Votes were submitted to a session that already early-stopped.
+
+    The session's ranking is still readable; only further ingestion is
+    rejected.  Create a new session to keep collecting.
+    """
+
+
+class SessionLimitError(SessionError):
+    """The session manager is at its session cap and nothing is evictable."""

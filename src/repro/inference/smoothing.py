@@ -261,9 +261,104 @@ def smooth_matrix(
     config = config if config is not None else SmoothingConfig()
     generator = ensure_rng(rng)
     x = np.asarray(truth_vector, dtype=np.float64)
+    sigma = _sigma_vector(arrays, worker_quality, config)
+    src, dst, pair_of_edge = _one_edge_table(x, arrays)
+    n_edges = int(src.shape[0])
 
-    # sigma_k once per distinct worker, through the same scalar
-    # worker_sigma as the object path (bit-identical clipping and log).
+    smoothed = np.array(direct, dtype=np.float64, copy=True)
+    if n_edges == 0:
+        return MatrixSmoothingResult(matrix=smoothed, n_one_edges=0,
+                                     adjustments={})
+
+    shift = _edge_shifts(arrays, sigma, pair_of_edge, config, generator)
+    smoothed[src, dst] = 1.0 - shift
+    smoothed[dst, src] = shift
+    adjustments = {
+        (u, v): s
+        for u, v, s in zip(src.tolist(), dst.tolist(), shift.tolist())
+    }
+    return MatrixSmoothingResult(
+        matrix=smoothed,
+        n_one_edges=n_edges,
+        adjustments=adjustments,
+    )
+
+
+def resmooth_pairs(
+    previous: np.ndarray,
+    truth_vector: np.ndarray,
+    arrays: VoteArrays,
+    worker_quality: Union[Mapping[WorkerId, float], np.ndarray],
+    pair_mask: np.ndarray,
+    config: Optional[SmoothingConfig] = None,
+    rng: SeedLike = None,
+) -> MatrixSmoothingResult:
+    """Steps 1-2 applied to a *subset* of pairs over a previous matrix.
+
+    The streaming session's incremental update: given the last smoothed
+    matrix, refresh only the entries of pairs flagged in ``pair_mask``
+    (a boolean vector over the columnar pair table — the pairs that
+    received new votes, plus every pair answered by a worker who did).
+    For each flagged pair the entry is rebuilt exactly as the full path
+    would: the direct weight from the current truth vector, then the
+    1-edge smoothing shift where the pair is unanimous.  Entries of
+    unflagged pairs are carried over untouched — the incremental
+    approximation that makes per-vote updates cheap; a periodic full
+    :func:`smooth_matrix` rebuild (and the batch-equivalence guarantee
+    of a session's full recompute) bounds the drift.
+
+    With ``pair_mask`` all-true and ``previous`` the direct matrix of
+    the same truth vector, the result is identical to
+    :func:`smooth_matrix` (pinned by a regression test).
+    """
+    config = config if config is not None else SmoothingConfig()
+    generator = ensure_rng(rng)
+    x = np.asarray(truth_vector, dtype=np.float64)
+    mask = np.asarray(pair_mask, dtype=bool)
+    if x.shape != (arrays.n_pairs,) or mask.shape != (arrays.n_pairs,):
+        raise InferenceError(
+            f"truth vector {x.shape} / pair mask {mask.shape} do not "
+            f"match the {arrays.n_pairs}-pair vote table"
+        )
+    smoothed = np.array(previous, dtype=np.float64, copy=True)
+    if not mask.any():
+        return MatrixSmoothingResult(matrix=smoothed, n_one_edges=0,
+                                     adjustments={})
+
+    # Direct weights for the flagged pairs (same zero-for-absent rule
+    # as direct_preference_matrix, both directions rewritten).
+    lo, hi, xm = arrays.pair_lo[mask], arrays.pair_hi[mask], x[mask]
+    smoothed[lo, hi] = np.where(xm > 0.0, xm, 0.0)
+    smoothed[hi, lo] = np.where(xm < 1.0, 1.0 - xm, 0.0)
+
+    sigma = _sigma_vector(arrays, worker_quality, config)
+    src, dst, pair_of_edge = _one_edge_table(x, arrays, mask)
+    n_edges = int(src.shape[0])
+    if n_edges == 0:
+        return MatrixSmoothingResult(matrix=smoothed, n_one_edges=0,
+                                     adjustments={})
+    shift = _edge_shifts(arrays, sigma, pair_of_edge, config, generator)
+    smoothed[src, dst] = 1.0 - shift
+    smoothed[dst, src] = shift
+    adjustments = {
+        (u, v): s
+        for u, v, s in zip(src.tolist(), dst.tolist(), shift.tolist())
+    }
+    return MatrixSmoothingResult(
+        matrix=smoothed,
+        n_one_edges=n_edges,
+        adjustments=adjustments,
+    )
+
+
+def _sigma_vector(
+    arrays: VoteArrays,
+    worker_quality: Union[Mapping[WorkerId, float], np.ndarray],
+    config: SmoothingConfig,
+) -> np.ndarray:
+    """Per-distinct-worker sigma, through the same scalar
+    :func:`worker_sigma` as the object path (bit-identical clipping and
+    log)."""
     if isinstance(worker_quality, np.ndarray):
         qualities = worker_quality.tolist()
     else:
@@ -279,13 +374,23 @@ def smooth_matrix(
             f"{len(qualities)} worker qualities for {arrays.n_workers} "
             "voting workers"
         )
-    sigma = np.array([worker_sigma(q, config) for q in qualities],
-                     dtype=np.float64)
+    return np.array([worker_sigma(q, config) for q in qualities],
+                    dtype=np.float64)
 
-    # 1-edges from the truth vector, in the object path's draw order:
-    # lexicographic (source, target).
+
+def _one_edge_table(
+    x: np.ndarray,
+    arrays: VoteArrays,
+    pair_mask: Optional[np.ndarray] = None,
+) -> tuple:
+    """1-edges from the truth vector, in the object path's draw order:
+    lexicographic ``(source, target)``.  ``pair_mask`` restricts the
+    table to a subset of pairs (the incremental path)."""
     one_forward = x >= 1.0 - ONE_EDGE_TOLERANCE
     one_reverse = (1.0 - x) >= 1.0 - ONE_EDGE_TOLERANCE
+    if pair_mask is not None:
+        one_forward = one_forward & pair_mask
+        one_reverse = one_reverse & pair_mask
     src = np.concatenate([arrays.pair_lo[one_forward],
                           arrays.pair_hi[one_reverse]])
     dst = np.concatenate([arrays.pair_hi[one_forward],
@@ -293,17 +398,23 @@ def smooth_matrix(
     pair_of_edge = np.concatenate([np.nonzero(one_forward)[0],
                                    np.nonzero(one_reverse)[0]])
     order = np.lexsort((dst, src))
-    src, dst = src[order], dst[order]
-    pair_of_edge = pair_of_edge[order]
-    n_edges = int(src.shape[0])
+    return src[order], dst[order], pair_of_edge[order]
 
-    smoothed = np.array(direct, dtype=np.float64, copy=True)
-    if n_edges == 0:
-        return MatrixSmoothingResult(matrix=smoothed, n_one_edges=0,
-                                     adjustments={})
 
-    # Gather each edge's votes, edge-major, original order within edge:
-    # votes stably sorted by pair give contiguous per-pair blocks.
+def _edge_shifts(
+    arrays: VoteArrays,
+    sigma: np.ndarray,
+    pair_of_edge: np.ndarray,
+    config: SmoothingConfig,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Per-1-edge smoothing shift: the mean worker error over the
+    edge's votes, clipped into ``[min_weight, 0.5]``.
+
+    Gathers each edge's votes edge-major, original order within edge:
+    votes stably sorted by pair give contiguous per-pair blocks.
+    """
+    n_edges = int(pair_of_edge.shape[0])
     by_pair_order = np.argsort(arrays.pair_idx, kind="stable")
     counts = np.bincount(arrays.pair_idx, minlength=arrays.n_pairs)
     block_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
@@ -323,16 +434,4 @@ def smooth_matrix(
     edge_of_vote = np.repeat(np.arange(n_edges), lengths)
     shift = (np.bincount(edge_of_vote, weights=errors, minlength=n_edges)
              / lengths)
-    shift = np.clip(shift, config.min_weight, 0.5)
-
-    smoothed[src, dst] = 1.0 - shift
-    smoothed[dst, src] = shift
-    adjustments = {
-        (u, v): s
-        for u, v, s in zip(src.tolist(), dst.tolist(), shift.tolist())
-    }
-    return MatrixSmoothingResult(
-        matrix=smoothed,
-        n_one_edges=n_edges,
-        adjustments=adjustments,
-    )
+    return np.clip(shift, config.min_weight, 0.5)

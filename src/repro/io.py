@@ -106,6 +106,49 @@ def result_from_payload(
         raise DataFormatError(f"{source}: malformed field ({error})") from None
 
 
+def save_payload(payload: Dict[str, object], path: Union[str, Path]) -> None:
+    """Write any schema-tagged payload dict as pretty JSON.
+
+    The generic sibling of :func:`save_result` for the library's other
+    versioned payloads (session snapshots, experiment exports): callers
+    build the dict through their own ``*_to_payload`` codec and this
+    helper only owns the file format.
+    """
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ConfigurationError(
+            "payload must be a dict carrying a 'schema' tag"
+        )
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_payload(
+    path: Union[str, Path], schema: str
+) -> Dict[str, object]:
+    """Read a JSON payload written by :func:`save_payload`.
+
+    Raises
+    ------
+    DataFormatError
+        On a missing/unreadable file, malformed JSON, or a schema tag
+        different from ``schema``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise DataFormatError(f"{path}: cannot read ({error})") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataFormatError(f"{path}: invalid JSON ({error})") from None
+    if not isinstance(payload, dict) or payload.get("schema") != schema:
+        raise DataFormatError(
+            f"{path}: expected schema {schema!r}, got "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r}"
+        )
+    return payload
+
+
 def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
     """Write an inference result as versioned JSON."""
     payload = result_to_payload(result)

@@ -44,6 +44,14 @@ Endpoints
 ``GET /metrics``
     Prometheus text exposition of the shared metrics registry plus
     instantaneous server gauges.
+``POST /v1/sessions`` / ``POST /v1/sessions/{id}/votes`` /
+``GET /v1/sessions/{id}/ranking`` / ``DELETE /v1/sessions/{id}``
+    Live incremental ranking sessions (:mod:`repro.streaming`): create
+    a session, stream votes into it (each call re-infers the ranking
+    incrementally and returns the updated view, including the
+    stability verdict), read the current ranking, and tear down.
+    Session errors map onto HTTP: unknown/evicted id -> 404,
+    early-stopped session refusing votes -> 409, session cap -> 429.
 
 Graceful drain: :meth:`RankingServer.stop` (wired to SIGTERM/SIGINT by
 ``repro serve``) flips readiness, rejects new work with 503, waits for
@@ -65,7 +73,18 @@ from urllib.parse import urlsplit
 
 from .._version import __version__
 from ..diagnostics import get_logger
-from ..exceptions import ConfigurationError, DataFormatError
+from ..exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    SessionLimitError,
+    SessionNotFoundError,
+    SessionStoppedError,
+)
+from ..streaming import (
+    SessionManager,
+    session_config_from_payload,
+    votes_from_payload,
+)
 from ..workers.backends import BACKEND_CHOICES
 from ..service import (
     BatchExecutor,
@@ -136,6 +155,12 @@ class ServerConfig:
         ``"process"`` adds crash isolation: a job that kills its worker
         comes back as a failed result instead of taking the server down
         or wedging a slot.
+    max_sessions:
+        Cap on simultaneously live streaming sessions (429 beyond,
+        after TTL eviction).
+    session_ttl:
+        Seconds a session may sit idle before becoming evictable;
+        ``None`` disables TTL eviction.
     """
 
     host: str = "127.0.0.1"
@@ -151,6 +176,8 @@ class ServerConfig:
     no_cache: bool = False
     drain_grace: float = 10.0
     backend: Optional[str] = None
+    max_sessions: int = 64
+    session_ttl: Optional[float] = 3600.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -173,6 +200,15 @@ class ServerConfig:
             raise ConfigurationError(
                 f"backend must be one of {sorted(BACKEND_CHOICES)} or None, "
                 f"got {self.backend!r}"
+            )
+        if self.max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.session_ttl is not None and self.session_ttl <= 0:
+            raise ConfigurationError(
+                "session_ttl must be positive or None, "
+                f"got {self.session_ttl}"
             )
 
 
@@ -283,6 +319,11 @@ class RankingServer:
                 persist_dir=self._config.cache_dir,
             )
         self._gate = AdmissionGate(self._config.queue_depth)
+        self._sessions = SessionManager(
+            max_sessions=self._config.max_sessions,
+            ttl_seconds=self._config.session_ttl,
+            metrics=self._metrics,
+        )
         self._slots = threading.Semaphore(self._config.workers)
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -306,6 +347,11 @@ class RankingServer:
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The live streaming-session registry."""
+        return self._sessions
 
     @property
     def host(self) -> str:
@@ -365,7 +411,14 @@ class RankingServer:
         self._draining.set()
         grace = drain_timeout if drain_timeout is not None \
             else self._config.drain_grace
+        started = time.monotonic()
         drained = self._gate.wait_idle(timeout=grace)
+        # Session updates run inside admission slots, so the gate wait
+        # already covers them; the explicit manager drain additionally
+        # covers updates driven by an embedding application that talks
+        # to the manager directly.
+        remaining = max(0.0, grace - (time.monotonic() - started))
+        drained = self._sessions.drain(timeout=remaining) and drained
         if not drained:
             _log.warning("drain grace of %.1fs expired with %d request(s) "
                          "still in flight", grace, self._gate.inflight)
@@ -504,6 +557,7 @@ class RankingServer:
             "server_queue_capacity": float(self._gate.capacity),
             "server_workers": float(self._config.workers),
             "server_draining": 0.0 if self.ready else 1.0,
+            **self._sessions.gauges(),
         }
         return render_prometheus(self._metrics.snapshot(), gauges=gauges)
 
@@ -536,6 +590,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self._dispatch("POST")
 
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("DELETE")
+
     def log_message(self, format: str, *args: object) -> None:
         # BaseHTTPRequestHandler writes to stderr by default; route its
         # chatter to diagnostics instead (the structured access line is
@@ -552,6 +609,42 @@ class _Handler(BaseHTTPRequestHandler):
         ("POST", "/v1/batch"): "batch",
     }
 
+    @staticmethod
+    def _session_route(method: str, path: str):
+        """Resolve the path-parameterised ``/v1/sessions`` family.
+
+        Returns ``(route_name, args)``; ``("unrouted", ())`` when the
+        path does not belong to the family, and raises 405 when the
+        path matches a session resource but the method does not.
+        """
+        if path == "/v1/sessions":
+            if method == "POST":
+                return "sessions_create", ()
+            raise _HttpError(405, f"{method} not allowed for {path}",
+                             close=True)
+        prefix = "/v1/sessions/"
+        if not path.startswith(prefix):
+            return "unrouted", ()
+        parts = path[len(prefix):].split("/")
+        if len(parts) == 1 and parts[0]:
+            if method == "DELETE":
+                return "sessions_delete", (parts[0],)
+            raise _HttpError(405, f"{method} not allowed for {path}",
+                             close=True)
+        if len(parts) == 2 and parts[0]:
+            session_id, leaf = parts
+            if leaf == "votes":
+                if method == "POST":
+                    return "sessions_votes", (session_id,)
+                raise _HttpError(405, f"{method} not allowed for {path}",
+                                 close=True)
+            if leaf == "ranking":
+                if method == "GET":
+                    return "sessions_ranking", (session_id,)
+                raise _HttpError(405, f"{method} not allowed for {path}",
+                                 close=True)
+        return "unrouted", ()
+
     def _dispatch(self, method: str) -> None:
         start = time.perf_counter()
         self._status = 0
@@ -559,14 +652,17 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_consumed = False
         path = urlsplit(self.path).path
         route = self._ROUTES.get((method, path), "unrouted")
+        route_args = ()
         try:
+            if route == "unrouted":
+                route, route_args = self._session_route(method, path)
             if route == "unrouted":
                 known_paths = {p for _, p in self._ROUTES}
                 if path in known_paths:
                     raise _HttpError(405, f"{method} not allowed for {path}",
                                      close=True)
                 raise _HttpError(404, f"no such endpoint: {path}")
-            getattr(self, f"_handle_{route}")()
+            getattr(self, f"_handle_{route}")(*route_args)
         except _HttpError as error:
             # Any error emitted while the request body is still on the
             # socket must close the connection: a keep-alive peer would
@@ -658,6 +754,85 @@ class _Handler(BaseHTTPRequestHandler):
                 "timed_out": len(report.timed_out),
                 "metrics": report.metrics,
             })
+        finally:
+            server.release()
+
+    # -- session endpoints --------------------------------------------------
+
+    @staticmethod
+    def _session_error(error: Exception) -> _HttpError:
+        """Map session-layer exceptions onto HTTP statuses."""
+        if isinstance(error, SessionNotFoundError):
+            return _HttpError(404, str(error))
+        if isinstance(error, SessionStoppedError):
+            return _HttpError(409, str(error))
+        if isinstance(error, SessionLimitError):
+            return _HttpError(429, str(error),
+                              headers={"Retry-After": "1"})
+        return _HttpError(400, str(error))
+
+    def _handle_sessions_create(self) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            payload = self._read_json_body()
+            if not isinstance(payload, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+            n_objects = payload.get("n_objects")
+            if isinstance(n_objects, bool) or not isinstance(n_objects, int):
+                raise _HttpError(400, "n_objects must be an integer")
+            try:
+                config = session_config_from_payload(
+                    payload.get("config"), source="config"
+                )
+                session = server.sessions.create(n_objects, config)
+            except (DataFormatError, ConfigurationError,
+                    SessionLimitError) as error:
+                raise self._session_error(error) from None
+            self._send_json(201, session.view())
+        finally:
+            server.release()
+
+    def _handle_sessions_votes(self, session_id: str) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            payload = self._read_json_body()
+            if isinstance(payload, dict):
+                raw_votes = payload.get("votes")
+            else:
+                raw_votes = payload
+            try:
+                votes = votes_from_payload(raw_votes, source="request")
+                view = server.sessions.ingest(session_id, votes)
+            except (DataFormatError, ConfigurationError,
+                    SessionNotFoundError, SessionStoppedError) as error:
+                raise self._session_error(error) from None
+            self._send_json(200, view)
+        finally:
+            server.release()
+
+    def _handle_sessions_ranking(self, session_id: str) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            try:
+                session = server.sessions.get(session_id)
+            except SessionNotFoundError as error:
+                raise self._session_error(error) from None
+            self._send_json(200, session.view())
+        finally:
+            server.release()
+
+    def _handle_sessions_delete(self, session_id: str) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            try:
+                server.sessions.delete(session_id)
+            except SessionNotFoundError as error:
+                raise self._session_error(error) from None
+            self._send_json(200, {"deleted": session_id})
         finally:
             server.release()
 

@@ -1,0 +1,672 @@
+"""Live ranking sessions and their manager.
+
+A :class:`RankingSession` owns one growing vote pool
+(:class:`~repro.streaming.VoteBuffer`), an
+:class:`~repro.streaming.IncrementalEngine` carrying warm state across
+updates, and a :class:`~repro.streaming.StabilityMonitor` scoring how
+much each update moved the ranking.  Ingesting votes re-infers the
+ranking incrementally; once the rolling stability score clears the
+threshold the session declares itself stable and (with ``early_stop``)
+**stops** — further submissions are rejected with
+:class:`~repro.exceptions.SessionStoppedError`, which is the signal to
+stop paying for votes.
+
+:class:`SessionManager` multiplexes many sessions behind the HTTP
+server: bounded session count, TTL eviction of idle sessions,
+per-session locks (concurrent ingests into one session serialise;
+distinct sessions proceed in parallel), in-flight tracking so a
+graceful drain can wait for running updates, and counters/gauges wired
+into a :class:`~repro.service.MetricsRegistry`.
+
+Sessions snapshot to a versioned JSON payload (votes, ranking,
+stability state, counters) through :func:`session_to_payload` /
+:func:`session_from_payload`; the file helpers in :mod:`repro.io`
+persist them.  Restores are cheap: the warm inference state is *not*
+serialised — the next ingest runs full Steps 1-3 and warm-starts only
+the SAPS anneal from the stored ranking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..config import PipelineConfig
+from ..exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    SessionLimitError,
+    SessionNotFoundError,
+    SessionStoppedError,
+)
+from ..inference.pipeline import RankingPipeline
+from ..rng import SeedLike, ensure_rng
+from ..service.metrics import MetricsRegistry
+from ..types import InferenceResult, Ranking, Vote
+from .buffer import VoteBuffer
+from .incremental import IncrementalEngine, UpdateReport
+from .stability import StabilityMonitor
+
+#: Versioned schema tag of session snapshot payloads.
+SESSION_SCHEMA = "repro.session_snapshot/1"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session knobs (inference + stability + warm-start tuning).
+
+    Attributes
+    ----------
+    pipeline:
+        The Steps 1-4 configuration; sessions require the columnar vote
+        path and the SAPS search (warm restarts are SAPS-specific).
+    seed:
+        Seed of the session's long-lived RNG; also the seed
+        :meth:`RankingSession.recompute` hands the batch pipeline, so a
+        session recompute is bit-comparable to an offline batch run.
+    stability_window / stability_threshold:
+        The rolling-Kendall stability criterion
+        (:class:`~repro.streaming.StabilityMonitor`).
+    min_votes:
+        Updates observed before this many votes never count as stable —
+        a floor against degenerate early agreement on tiny pools.
+    early_stop:
+        Whether a stable session transitions to ``stopped`` and rejects
+        further votes.
+    warm_iterations:
+        SAPS iteration budget of warm (incremental) updates.
+    quality_shift_threshold / truth_damping:
+        The damped-restart guard of the incremental engine.
+    full_rebuild_fraction:
+        Dirty-pair fraction above which Step 2 rebuilds in full.
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    seed: SeedLike = 0
+    stability_window: int = 5
+    stability_threshold: float = 0.02
+    min_votes: int = 0
+    early_stop: bool = True
+    warm_iterations: int = 1500
+    quality_shift_threshold: float = 0.25
+    truth_damping: float = 0.5
+    full_rebuild_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_votes < 0:
+            raise ConfigurationError(
+                f"min_votes must be >= 0, got {self.min_votes}"
+            )
+        if self.warm_iterations < 1:
+            raise ConfigurationError(
+                f"warm_iterations must be >= 1, got {self.warm_iterations}"
+            )
+        if not 0.0 <= self.truth_damping <= 1.0:
+            raise ConfigurationError(
+                f"truth_damping must be in [0, 1], got {self.truth_damping}"
+            )
+        if not 0.0 <= self.full_rebuild_fraction <= 1.0:
+            raise ConfigurationError(
+                "full_rebuild_fraction must be in [0, 1], got "
+                f"{self.full_rebuild_fraction}"
+            )
+
+
+class RankingSession:
+    """One live incremental ranking over a growing vote pool.
+
+    All public methods take the session's lock; a session is safe to
+    share between server handler threads (calls serialise).
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        n_objects: int,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.config = config if config is not None else SessionConfig()
+        self.lock = threading.RLock()
+        self.buffer = VoteBuffer(n_objects)
+        self._engine = IncrementalEngine(
+            self.config.pipeline,
+            warm_iterations=self.config.warm_iterations,
+            quality_shift_threshold=self.config.quality_shift_threshold,
+            truth_damping=self.config.truth_damping,
+            full_rebuild_fraction=self.config.full_rebuild_fraction,
+        )
+        self._monitor = StabilityMonitor(
+            window=self.config.stability_window,
+            threshold=self.config.stability_threshold,
+        )
+        self._rng = ensure_rng(self.config.seed)
+        self._stopped = False
+        self._last_report: Optional[UpdateReport] = None
+        self.votes_ingested = 0
+        self.updates_full = 0
+        self.updates_incremental = 0
+        self.damped_restarts = 0
+
+    @property
+    def n_objects(self) -> int:
+        return self.buffer.n_objects
+
+    @property
+    def ranking(self) -> Optional[Ranking]:
+        with self.lock:
+            return self._engine.ranking
+
+    @property
+    def stopped(self) -> bool:
+        with self.lock:
+            return self._stopped
+
+    @property
+    def verdict(self) -> str:
+        """``collecting`` / ``stable`` / ``stopped`` (see
+        :mod:`repro.streaming.stability`)."""
+        with self.lock:
+            if self._stopped:
+                return "stopped"
+            if self._stable():
+                return "stable"
+            return "collecting"
+
+    def _stable(self) -> bool:
+        return (self._monitor.is_stable
+                and self.votes_ingested >= self.config.min_votes)
+
+    def ingest(self, votes: Iterable[Vote]) -> UpdateReport:
+        """Append votes and incrementally re-infer the ranking.
+
+        Raises
+        ------
+        SessionStoppedError
+            If the session already early-stopped.
+        ConfigurationError
+            On votes outside ``[0, n_objects)``.
+        """
+        votes = list(votes)
+        with self.lock:
+            if self._stopped:
+                raise SessionStoppedError(
+                    f"session {self.session_id} has early-stopped; its "
+                    "ranking is final"
+                )
+            self.buffer.extend(votes)
+            self.votes_ingested += len(votes)
+            report = self._engine.update(self.buffer.snapshot(), self._rng)
+            if report.mode == "full":
+                self.updates_full += 1
+            else:
+                self.updates_incremental += 1
+            if report.damped_restart:
+                self.damped_restarts += 1
+            self._monitor.observe(report.ranking)
+            if self.config.early_stop and self._stable():
+                self._stopped = True
+            self._last_report = report
+            return report
+
+    def recompute(self, rng: SeedLike = None) -> InferenceResult:
+        """Full batch (non-warm) inference over the frozen vote pool.
+
+        Runs the standard :class:`~repro.inference.pipeline.RankingPipeline`
+        on ``buffer.to_vote_set()`` — the exact code path an offline
+        batch run would take on the same votes, seeded (by default) with
+        the session seed, so the result is bit-identical to that batch
+        run.  Does not touch the session's warm state.
+        """
+        with self.lock:
+            vote_set = self.buffer.to_vote_set()
+        seed = self.config.seed if rng is None else rng
+        return RankingPipeline(self.config.pipeline).run(
+            vote_set, ensure_rng(seed)
+        )
+
+    def view(self) -> Dict[str, object]:
+        """JSON-ready status payload (the ranking endpoint's body)."""
+        with self.lock:
+            ranking = self._engine.ranking
+            report = self._last_report
+            score = self._monitor.score
+            return {
+                "session_id": self.session_id,
+                "n_objects": self.n_objects,
+                "verdict": self.verdict,
+                "votes_ingested": self.votes_ingested,
+                "ranking": (list(ranking.order)
+                            if ranking is not None else None),
+                "log_preference": (report.log_preference
+                                   if report is not None else None),
+                "stability_score": score,
+                "stability_window": self.config.stability_window,
+                "stability_threshold": self.config.stability_threshold,
+                "updates": {
+                    "full": self.updates_full,
+                    "incremental": self.updates_incremental,
+                    "damped_restarts": self.damped_restarts,
+                },
+            }
+
+
+def session_config_from_payload(
+    payload: object, source: str = "<payload>"
+) -> SessionConfig:
+    """Decode a (possibly partial) session-config dict.
+
+    The JSON shape the create endpoint and the CLI accept: an optional
+    ``"pipeline"`` sub-dict (same partial-config codec as batch jobs,
+    :func:`repro.service.jobs.config_from_payload`) plus any of the flat
+    :class:`SessionConfig` knobs; omitted keys fall back to defaults.
+    """
+    from ..service.jobs import config_from_payload
+
+    if payload is None:
+        return SessionConfig()
+    if not isinstance(payload, dict):
+        raise DataFormatError(
+            f"{source}: session config must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    known = {
+        "pipeline", "seed", "stability_window", "stability_threshold",
+        "min_votes", "early_stop", "warm_iterations",
+        "quality_shift_threshold", "truth_damping",
+        "full_rebuild_fraction",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise DataFormatError(
+            f"{source}: unknown session config key(s) {unknown}"
+        )
+    try:
+        pipeline = config_from_payload(
+            payload.get("pipeline", {}), source=f"{source}.pipeline"
+        )
+        return SessionConfig(
+            pipeline=pipeline,
+            seed=payload.get("seed", 0),
+            stability_window=int(payload.get("stability_window", 5)),
+            stability_threshold=float(
+                payload.get("stability_threshold", 0.02)
+            ),
+            min_votes=int(payload.get("min_votes", 0)),
+            early_stop=bool(payload.get("early_stop", True)),
+            warm_iterations=int(payload.get("warm_iterations", 1500)),
+            quality_shift_threshold=float(
+                payload.get("quality_shift_threshold", 0.25)
+            ),
+            truth_damping=float(payload.get("truth_damping", 0.5)),
+            full_rebuild_fraction=float(
+                payload.get("full_rebuild_fraction", 0.5)
+            ),
+        )
+    except (ValueError, TypeError, ConfigurationError) as error:
+        raise DataFormatError(
+            f"{source}: malformed session config ({error})"
+        ) from None
+
+
+def votes_from_payload(
+    payload: object, source: str = "<payload>"
+) -> List[Vote]:
+    """Decode a votes array: ``[worker, winner, loser]`` triples (or
+    equivalent objects with those keys)."""
+    if not isinstance(payload, list):
+        raise DataFormatError(
+            f"{source}: votes must be a JSON array"
+        )
+    votes: List[Vote] = []
+    for index, item in enumerate(payload):
+        try:
+            if isinstance(item, dict):
+                vote = Vote(worker=int(item["worker"]),
+                            winner=int(item["winner"]),
+                            loser=int(item["loser"]))
+            else:
+                worker, winner, loser = item
+                vote = Vote(worker=int(worker), winner=int(winner),
+                            loser=int(loser))
+        except (KeyError, ValueError, TypeError,
+                ConfigurationError) as error:
+            raise DataFormatError(
+                f"{source}: votes[{index}] malformed ({error})"
+            ) from None
+        votes.append(vote)
+    return votes
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore codec
+# ---------------------------------------------------------------------------
+
+def session_to_payload(session: RankingSession) -> Dict[str, object]:
+    """Encode a session as a versioned JSON-ready payload.
+
+    Captures everything needed to resume collecting: the vote pool, the
+    stability state, the counters and the last ranking.  The engine's
+    warm inference state is intentionally *not* captured — it is cheap
+    to rebuild (the first post-restore ingest runs full Steps 1-3 and
+    warm-starts SAPS from the stored ranking) and heavy to serialise
+    (dense matrices).
+    """
+    from ..service.jobs import config_to_payload
+
+    with session.lock:
+        ranking = session._engine.ranking
+        return {
+            "schema": SESSION_SCHEMA,
+            "session_id": session.session_id,
+            "n_objects": session.n_objects,
+            "config": {
+                **config_to_payload(session.config.pipeline),
+            },
+            "session_config": {
+                "seed": session.config.seed,
+                "stability_window": session.config.stability_window,
+                "stability_threshold": session.config.stability_threshold,
+                "min_votes": session.config.min_votes,
+                "early_stop": session.config.early_stop,
+                "warm_iterations": session.config.warm_iterations,
+                "quality_shift_threshold":
+                    session.config.quality_shift_threshold,
+                "truth_damping": session.config.truth_damping,
+                "full_rebuild_fraction":
+                    session.config.full_rebuild_fraction,
+            },
+            "votes": [
+                [vote.worker, vote.winner, vote.loser]
+                for vote in session.buffer.votes()
+            ],
+            "ranking": (list(ranking.order)
+                        if ranking is not None else None),
+            "stability": session._monitor.state(),
+            "counters": {
+                "votes_ingested": session.votes_ingested,
+                "updates_full": session.updates_full,
+                "updates_incremental": session.updates_incremental,
+                "damped_restarts": session.damped_restarts,
+            },
+            "stopped": session._stopped,
+        }
+
+
+def session_from_payload(
+    payload: object, source: str = "<payload>"
+) -> RankingSession:
+    """Rebuild a session from :func:`session_to_payload` output.
+
+    The restored session resumes exactly where the snapshot left off in
+    lifecycle terms (verdict, counters, stability window); its next
+    ingest performs a full Steps 1-3 pass with a SAPS anneal
+    warm-started from the stored ranking.
+    """
+    from ..service.jobs import config_from_payload
+
+    if not isinstance(payload, dict) or payload.get("schema") != SESSION_SCHEMA:
+        raise DataFormatError(
+            f"{source}: expected schema {SESSION_SCHEMA!r}, got "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r}"
+        )
+    try:
+        pipeline = config_from_payload(payload.get("config", {}), source)
+        sc = dict(payload.get("session_config", {}))
+        config = SessionConfig(
+            pipeline=pipeline,
+            seed=sc.get("seed", 0),
+            stability_window=int(sc.get("stability_window", 5)),
+            stability_threshold=float(sc.get("stability_threshold", 0.02)),
+            min_votes=int(sc.get("min_votes", 0)),
+            early_stop=bool(sc.get("early_stop", True)),
+            warm_iterations=int(sc.get("warm_iterations", 1500)),
+            quality_shift_threshold=float(
+                sc.get("quality_shift_threshold", 0.25)
+            ),
+            truth_damping=float(sc.get("truth_damping", 0.5)),
+            full_rebuild_fraction=float(
+                sc.get("full_rebuild_fraction", 0.5)
+            ),
+        )
+        session = RankingSession(
+            session_id=str(payload["session_id"]),
+            n_objects=int(payload["n_objects"]),
+            config=config,
+        )
+        session.buffer.extend(
+            Vote(worker=int(w), winner=int(win), loser=int(lose))
+            for w, win, lose in payload.get("votes", [])
+        )
+        ranking = payload.get("ranking")
+        if ranking is not None:
+            session._engine.seed_ranking(
+                Ranking([int(v) for v in ranking])
+            )
+        session._monitor = StabilityMonitor.from_state(
+            payload["stability"]
+        )
+        counters = payload.get("counters", {})
+        session.votes_ingested = int(counters.get("votes_ingested", 0))
+        session.updates_full = int(counters.get("updates_full", 0))
+        session.updates_incremental = int(
+            counters.get("updates_incremental", 0)
+        )
+        session.damped_restarts = int(counters.get("damped_restarts", 0))
+        session._stopped = bool(payload.get("stopped", False))
+        return session
+    except (KeyError, ValueError, TypeError, ConfigurationError) as error:
+        raise DataFormatError(
+            f"{source}: malformed field ({error})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Manager
+# ---------------------------------------------------------------------------
+
+class SessionManager:
+    """Bounded, TTL-evicting registry of live sessions.
+
+    Parameters
+    ----------
+    max_sessions:
+        Hard cap on simultaneously live sessions; creation beyond it
+        (after evicting whatever the TTL allows) raises
+        :class:`~repro.exceptions.SessionLimitError`.
+    ttl_seconds:
+        Idle time (since last touch) after which a session is evictable.
+        ``None`` disables TTL eviction.
+    metrics:
+        Optional registry; the manager counts creations, ingested
+        votes, update modes, early stops and evictions on it.
+    clock:
+        Injectable monotonic clock (tests drive eviction without
+        sleeping).
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        ttl_seconds: Optional[float] = 3600.0,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self.max_sessions = int(max_sessions)
+        self.ttl_seconds = ttl_seconds
+        self.metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, RankingSession] = {}
+        self._last_touch: Dict[str, float] = {}
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+        self.early_stops = 0
+        self.evictions = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def create(
+        self,
+        n_objects: int,
+        config: Optional[SessionConfig] = None,
+        session_id: Optional[str] = None,
+    ) -> RankingSession:
+        """Create (or adopt, on restore) a session; cap-checked."""
+        session = RankingSession(
+            session_id=session_id or uuid.uuid4().hex[:16],
+            n_objects=n_objects,
+            config=config,
+        )
+        return self.adopt(session)
+
+    def adopt(self, session: RankingSession) -> RankingSession:
+        """Register an existing session (snapshot restore path)."""
+        with self._lock:
+            self._evict_expired_locked()
+            if session.session_id in self._sessions:
+                raise ConfigurationError(
+                    f"session id {session.session_id!r} already exists"
+                )
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionLimitError(
+                    f"session cap {self.max_sessions} reached and no "
+                    "session is idle past its TTL"
+                )
+            self._sessions[session.session_id] = session
+            self._last_touch[session.session_id] = self._clock()
+        self._count("sessions_created")
+        return session
+
+    def get(self, session_id: str) -> RankingSession:
+        """Look up a live session and refresh its TTL clock."""
+        with self._lock:
+            self._evict_expired_locked()
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionNotFoundError(
+                    f"no live session {session_id!r} (unknown or evicted)"
+                )
+            self._last_touch[session_id] = self._clock()
+            return session
+
+    def delete(self, session_id: str) -> None:
+        """Drop a session; unknown ids raise
+        :class:`~repro.exceptions.SessionNotFoundError`."""
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise SessionNotFoundError(
+                    f"no live session {session_id!r} (unknown or evicted)"
+                )
+            self._last_touch.pop(session_id, None)
+        self._count("sessions_deleted")
+
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- eviction -------------------------------------------------------------
+    def evict_expired(self) -> int:
+        """Evict every session idle past the TTL; returns the count."""
+        with self._lock:
+            return self._evict_expired_locked()
+
+    def _evict_expired_locked(self) -> int:
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        expired = [
+            sid for sid, touched in self._last_touch.items()
+            if now - touched > self.ttl_seconds
+        ]
+        for sid in expired:
+            del self._sessions[sid]
+            del self._last_touch[sid]
+        if expired:
+            self.evictions += len(expired)
+            self._count("sessions_evicted", len(expired))
+        return len(expired)
+
+    # -- the hot path ---------------------------------------------------------
+    def ingest(self, session_id: str, votes: Sequence[Vote]
+               ) -> Dict[str, object]:
+        """Append votes to a session and return its updated view.
+
+        Tracked as in-flight for :meth:`drain`; per-session locking
+        means concurrent ingests into *different* sessions run in
+        parallel while ingests into the same session serialise.
+        """
+        session = self.get(session_id)
+        with self._track():
+            was_stopped = session.stopped
+            report = session.ingest(votes)
+            self._count("session_votes_ingested", len(votes))
+            self._count(f"session_updates_{report.mode}")
+            if report.damped_restart:
+                self._count("session_damped_restarts")
+            if session.stopped and not was_stopped:
+                with self._lock:
+                    self.early_stops += 1
+                self._count("session_early_stops")
+            view = session.view()
+            view["update_mode"] = report.mode
+            return view
+
+    def _track(self):
+        manager = self
+
+        class _InFlight:
+            def __enter__(self):
+                with manager._lock:
+                    manager._in_flight += 1
+
+            def __exit__(self, *exc):
+                with manager._idle:
+                    manager._in_flight -= 1
+                    manager._idle.notify_all()
+
+        return _InFlight()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no session update is in flight (graceful stop).
+
+        Returns ``False`` if ``timeout`` elapsed first.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._in_flight == 0, timeout=timeout
+            )
+
+    # -- metrics --------------------------------------------------------------
+    def _count(self, name: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, value)
+
+    def gauges(self) -> Dict[str, float]:
+        """Instantaneous values for the Prometheus endpoint."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            in_flight = self._in_flight
+        stopped = sum(1 for s in sessions if s.stopped)
+        return {
+            "sessions_active": float(len(sessions)),
+            "sessions_stopped": float(stopped),
+            "session_updates_in_flight": float(in_flight),
+            "session_votes_buffered": float(
+                sum(len(s.buffer) for s in sessions)
+            ),
+        }

@@ -1,0 +1,112 @@
+"""Rolling ranking-stability score and the early-stopping verdict.
+
+A live session re-infers its ranking after every vote delta.  Once the
+crowd's answer has effectively converged, further votes only reshuffle
+near-ties — paying for them wastes budget, which is exactly the
+trade-off the paper's budget-constrained setting cares about.  The
+monitor quantifies convergence as the **rolling mean of the normalized
+Kendall-tau distance between successive rankings** (the paper's ``d``,
+:func:`repro.metrics.kendall.normalized_kendall_tau_distance`) over a
+sliding window of the last ``window`` updates:
+
+    ``score_t = mean(d(R_{t-k-1}, R_{t-k}) for k in [0, window))``
+
+The session is *stable* when the window is full and the score is at or
+below ``threshold`` — i.e. the last ``window`` updates moved the
+ranking by at most ``threshold * C(n, 2)`` discordant pairs on average.
+The verdict exposed upstream is three-valued:
+
+* ``collecting`` — not enough evidence yet (window not full, or the
+  score is above threshold);
+* ``stable`` — the stability criterion holds, but the session keeps
+  accepting votes (``early_stop`` off);
+* ``stopped`` — the criterion held and the session early-stopped:
+  further vote submissions are rejected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..exceptions import ConfigurationError
+from ..metrics.kendall import normalized_kendall_tau_distance
+from ..types import Ranking
+
+#: The three session verdicts, in lifecycle order.
+VERDICTS = ("collecting", "stable", "stopped")
+
+
+class StabilityMonitor:
+    """Tracks successive rankings and scores their rolling stability."""
+
+    def __init__(self, window: int = 5, threshold: float = 0.02) -> None:
+        if window < 1:
+            raise ConfigurationError(f"stability window must be >= 1, "
+                                     f"got {window}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"stability threshold must be in [0, 1], got {threshold}"
+            )
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self._previous: Optional[Ranking] = None
+        self._distances: Deque[float] = deque(maxlen=self.window)
+        self._observations = 0
+
+    def observe(self, ranking: Ranking) -> Optional[float]:
+        """Record the next ranking; returns its distance to the previous
+        one (``None`` for the very first observation)."""
+        distance: Optional[float] = None
+        if self._previous is not None:
+            distance = normalized_kendall_tau_distance(
+                self._previous, ranking
+            )
+            self._distances.append(distance)
+        self._previous = ranking
+        self._observations += 1
+        return distance
+
+    @property
+    def score(self) -> Optional[float]:
+        """Rolling mean distance over the window; ``None`` until the
+        window is full (score without full evidence would understate
+        instability early on)."""
+        if len(self._distances) < self.window:
+            return None
+        return sum(self._distances) / len(self._distances)
+
+    @property
+    def is_stable(self) -> bool:
+        """Window full and rolling score at or below the threshold."""
+        score = self.score
+        return score is not None and score <= self.threshold
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    # -- snapshot / restore ---------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """JSON-serialisable state for session snapshots."""
+        return {
+            "window": self.window,
+            "threshold": self.threshold,
+            "distances": list(self._distances),
+            "observations": self._observations,
+            "previous": (list(self._previous.order)
+                         if self._previous is not None else None),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StabilityMonitor":
+        """Rebuild a monitor from :meth:`state` output."""
+        monitor = cls(window=int(state["window"]),
+                      threshold=float(state["threshold"]))
+        distances: List[float] = [float(d) for d in state["distances"]]
+        monitor._distances.extend(distances[-monitor.window:])
+        monitor._observations = int(state["observations"])
+        previous = state.get("previous")
+        if previous is not None:
+            monitor._previous = Ranking([int(v) for v in previous])
+        return monitor

@@ -10,13 +10,14 @@
   convergence-speed experiment (the paper reports <= 10 iterations).
 """
 
-from .crh import TruthDiscoveryResult, discover_truth
+from .crh import TruthDiscoveryResult, TruthWarmStart, discover_truth
 from .dawid_skene import discover_truth_em
 from .majority import majority_vote, weighted_majority_vote
 from .convergence import ConvergenceTrace
 
 __all__ = [
     "TruthDiscoveryResult",
+    "TruthWarmStart",
     "discover_truth",
     "discover_truth_em",
     "majority_vote",

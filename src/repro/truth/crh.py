@@ -29,15 +29,36 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 from scipy import stats
 
 from ..config import TruthDiscoveryConfig
 from ..exceptions import ConvergenceError, InferenceError
-from ..types import Pair, VoteSet, WorkerId
+from ..types import Pair, VoteArrays, VoteSet, WorkerId
 from .convergence import ConvergenceTrace
+
+
+@dataclass(frozen=True)
+class TruthWarmStart:
+    """Initial iteration state for warm-started truth discovery.
+
+    Streaming sessions re-run Step 1 after every small vote delta; the
+    previous run's fixed point is an excellent initial guess, cutting
+    the iteration count from dozens to a handful.  Both vectors must be
+    aligned with the *current* vote set's columnar tables
+    (:class:`~repro.types.VoteArrays`): ``truth`` with the pair table
+    and ``weights`` with the worker table.  For CRH, ``weights`` is the
+    internal Eq. 4/5 iteration weight (max-normalised); for the EM
+    engine it is the worker-accuracy vector.  A warm start never
+    changes *what* fixed point the iteration targets — only where it
+    starts — and with ``warm_start=None`` both engines behave exactly
+    as before.
+    """
+
+    truth: np.ndarray
+    weights: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -63,6 +84,11 @@ class TruthDiscoveryResult:
         path consumes this directly instead of re-indexing the dict.
     quality_vector:
         ``worker_quality`` aligned with the columnar worker table.
+    iteration_weights:
+        The engine's *internal* per-worker iteration state at the fixed
+        point (CRH's max-normalised Eq. 5 weights; EM's accuracies),
+        aligned with the worker table.  Feed it back through
+        :class:`TruthWarmStart` to warm-start the next run.
     """
 
     preferences: Dict[Pair, float]
@@ -71,6 +97,7 @@ class TruthDiscoveryResult:
     elapsed_seconds: float = 0.0
     preference_vector: Optional[np.ndarray] = None
     quality_vector: Optional[np.ndarray] = None
+    iteration_weights: Optional[np.ndarray] = None
 
     @property
     def iterations(self) -> int:
@@ -78,15 +105,30 @@ class TruthDiscoveryResult:
 
 
 def discover_truth(
-    votes: VoteSet,
+    votes: Union[VoteSet, VoteArrays],
     config: Optional[TruthDiscoveryConfig] = None,
+    warm_start: Optional[TruthWarmStart] = None,
 ) -> TruthDiscoveryResult:
     """Run iterative truth discovery over a vote set.
+
+    Parameters
+    ----------
+    votes:
+        A frozen :class:`~repro.types.VoteSet`, or a pre-built columnar
+        :class:`~repro.types.VoteArrays` view (the streaming path hands
+        its incrementally maintained arrays in directly).
+    config:
+        Step-1 configuration.
+    warm_start:
+        Optional initial iteration state from a previous run (see
+        :class:`TruthWarmStart`); ``None`` reproduces the cold-start
+        behaviour bit for bit.
 
     Raises
     ------
     InferenceError
-        If the vote set is empty.
+        If the vote set is empty, or a warm start's vectors do not
+        match the vote set's pair/worker tables.
     ConvergenceError
         If ``config.strict`` and the iteration cap is reached first.
     """
@@ -97,7 +139,7 @@ def discover_truth(
 
     # The columnar view is flattened once and cached on the vote set;
     # the iteration below is pure numpy over its parallel arrays.
-    arrays = votes.arrays()
+    arrays = votes.arrays() if isinstance(votes, VoteSet) else votes
     vote_pair, vote_worker = arrays.pair_idx, arrays.worker_idx
     vote_value = arrays.value
     n_pairs, n_workers = arrays.n_pairs, arrays.n_workers
@@ -108,8 +150,7 @@ def discover_truth(
     chi2_scale = stats.chi2.ppf(config.alpha / 2.0, df=tasks_per_worker)
     chi2_scale = np.maximum(chi2_scale, 1e-12)
 
-    quality = np.ones(n_workers, dtype=np.float64)
-    truth = np.full(n_pairs, 0.5, dtype=np.float64)
+    quality, truth = _initial_state(warm_start, n_pairs, n_workers)
     trace = ConvergenceTrace()
 
     for _ in range(config.max_iterations):
@@ -166,4 +207,23 @@ def discover_truth(
         elapsed_seconds=elapsed,
         preference_vector=truth,
         quality_vector=reported_quality,
+        iteration_weights=quality,
     )
+
+
+def _initial_state(
+    warm_start: Optional[TruthWarmStart], n_pairs: int, n_workers: int
+) -> tuple:
+    """``(quality, truth)`` starting vectors — cold or warm."""
+    if warm_start is None:
+        return (np.ones(n_workers, dtype=np.float64),
+                np.full(n_pairs, 0.5, dtype=np.float64))
+    truth = np.asarray(warm_start.truth, dtype=np.float64)
+    weights = np.asarray(warm_start.weights, dtype=np.float64)
+    if truth.shape != (n_pairs,) or weights.shape != (n_workers,):
+        raise InferenceError(
+            f"warm start of shapes {truth.shape}/{weights.shape} does not "
+            f"match the {n_pairs}-pair / {n_workers}-worker vote tables"
+        )
+    # Copies: the iteration must never mutate the caller's state.
+    return weights.copy(), truth.copy()

@@ -24,23 +24,24 @@ The output is interface-compatible with
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..config import TruthDiscoveryConfig
 from ..exceptions import ConvergenceError, InferenceError
-from ..types import VoteSet
+from ..types import VoteArrays, VoteSet
 from .convergence import ConvergenceTrace
-from .crh import TruthDiscoveryResult
+from .crh import TruthDiscoveryResult, TruthWarmStart
 
 #: Worker accuracies are kept inside [_ACC_FLOOR, 1 - _ACC_FLOOR].
 _ACC_FLOOR = 1e-3
 
 
 def discover_truth_em(
-    votes: VoteSet,
+    votes: Union[VoteSet, VoteArrays],
     config: Optional[TruthDiscoveryConfig] = None,
+    warm_start: Optional[TruthWarmStart] = None,
 ) -> TruthDiscoveryResult:
     """EM (Dawid-Skene) truth discovery over a vote set.
 
@@ -51,10 +52,17 @@ def discover_truth_em(
     ``-log q_k`` recovers the error deviation implied by the estimated
     accuracy, exactly mirroring the CRH engine's calibration.
 
+    Accepts a pre-built :class:`~repro.types.VoteArrays` in place of a
+    vote set (the streaming path), and an optional
+    :class:`~repro.truth.crh.TruthWarmStart` whose ``truth`` is the
+    previous posterior vector and ``weights`` the previous accuracy
+    vector; ``warm_start=None`` reproduces the cold start bit for bit.
+
     Raises
     ------
     InferenceError
-        If the vote set is empty.
+        If the vote set is empty, or a warm start's vectors do not
+        match the vote set's pair/worker tables.
     ConvergenceError
         If ``config.strict`` and the iteration cap is reached first.
     """
@@ -64,14 +72,25 @@ def discover_truth_em(
     start = time.perf_counter()
 
     # Columnar vote view, flattened once and cached on the vote set.
-    arrays = votes.arrays()
+    arrays = votes.arrays() if isinstance(votes, VoteSet) else votes
     vote_pair, vote_worker = arrays.pair_idx, arrays.worker_idx
     vote_value = arrays.value
     n_pairs, n_workers = arrays.n_pairs, arrays.n_workers
 
     tasks_per_worker = np.bincount(vote_worker, minlength=n_workers)
-    accuracy = np.full(n_workers, 0.7, dtype=np.float64)
-    posterior = np.full(n_pairs, 0.5, dtype=np.float64)
+    if warm_start is None:
+        accuracy = np.full(n_workers, 0.7, dtype=np.float64)
+        posterior = np.full(n_pairs, 0.5, dtype=np.float64)
+    else:
+        posterior = np.asarray(warm_start.truth, dtype=np.float64)
+        accuracy = np.asarray(warm_start.weights, dtype=np.float64)
+        if posterior.shape != (n_pairs,) or accuracy.shape != (n_workers,):
+            raise InferenceError(
+                f"warm start of shapes {posterior.shape}/{accuracy.shape} "
+                f"does not match the {n_pairs}-pair / {n_workers}-worker "
+                "vote tables"
+            )
+        posterior, accuracy = posterior.copy(), accuracy.copy()
     trace = ConvergenceTrace()
 
     for _ in range(config.max_iterations):
@@ -124,4 +143,5 @@ def discover_truth_em(
         elapsed_seconds=elapsed,
         preference_vector=posterior,
         quality_vector=reported_quality,
+        iteration_weights=accuracy,
     )

@@ -333,6 +333,16 @@ class VoteSet:
     (:meth:`arrays`) are memoized — the dataclass is frozen, so the
     derived structures can never go stale.  Callers must treat the
     returned containers as read-only.
+
+    **Frozen-ness is what makes the memoization sound.**  Anything that
+    mutates ``votes`` behind the dataclass's back (``object.__setattr__``
+    or similar) would silently desynchronise every cached view, so the
+    memo table records which votes tuple it was built from and every
+    accessor re-checks it, raising :class:`ConfigurationError` on a
+    mismatch.  Code that needs to *accumulate* votes incrementally must
+    not mutate a ``VoteSet`` — use
+    :class:`repro.streaming.VoteBuffer`, the append-only builder, and
+    take frozen snapshots via its ``to_vote_set()``.
     """
 
     n_objects: int
@@ -350,11 +360,21 @@ class VoteSet:
         return iter(self.votes)
 
     def _memo(self, key: str, build):
-        """Per-instance memo table; safe because the dataclass is frozen."""
+        """Per-instance memo table; sound *only* because the dataclass is
+        frozen.  The table remembers the exact votes tuple it was built
+        from and every access re-verifies it, so out-of-band mutation
+        (``object.__setattr__``) fails loudly instead of serving stale
+        derived views."""
         cache = self.__dict__.get("_cache")
         if cache is None:
-            cache = {}
+            cache = {"__votes__": self.votes}
             object.__setattr__(self, "_cache", cache)
+        elif cache["__votes__"] is not self.votes:
+            raise ConfigurationError(
+                "VoteSet.votes was mutated after derived caches were "
+                "built; VoteSet is frozen by contract — accumulate votes "
+                "through repro.streaming.VoteBuffer instead"
+            )
         if key not in cache:
             cache[key] = build()
         return cache[key]

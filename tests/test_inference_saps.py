@@ -171,3 +171,67 @@ class TestSAPSSearch:
             rng=3,
         )
         assert cold >= hot - 1e-9
+
+
+def _path_log_preference(matrix, order):
+    return float(sum(math.log(matrix[a, b])
+                     for a, b in zip(order, order[1:])))
+
+
+class TestWarmStart:
+    """``warm_start`` replaces the first restart's initial path; since
+    the initial path seeds best-so-far, a warm run can never come back
+    worse than the ranking it was handed."""
+
+    def test_never_worse_than_seed_ranking(self):
+        matrix = random_closure(12, seed=4)
+        # A deliberately good seed: the cold optimum.
+        seed_ranking, seed_log = saps_search(
+            matrix, SAPSConfig(iterations=6000, restarts=2), rng=0
+        )
+        # ... annealed with a tiny budget that could only ruin it.
+        report = saps_search_report(
+            matrix, SAPSConfig(iterations=5, restarts=1), rng=1,
+            warm_start=seed_ranking.order,
+        )
+        assert report.log_preference >= seed_log - 1e-9
+
+    def test_never_worse_than_arbitrary_seed(self):
+        matrix = random_closure(10, seed=8)
+        warm = list(range(10))  # arbitrary, likely poor
+        report = saps_search_report(
+            matrix, SAPSConfig(iterations=300, restarts=1), rng=2,
+            warm_start=warm,
+        )
+        assert report.log_preference \
+            >= _path_log_preference(matrix, warm) - 1e-9
+
+    def test_warm_start_still_improves(self):
+        """A warm run with a real budget escapes a bad seed."""
+        matrix = sharp_matrix(8)
+        report = saps_search_report(
+            matrix, SAPSConfig(iterations=2000, restarts=1), rng=3,
+            warm_start=list(reversed(range(8))),
+        )
+        assert report.ranking == Ranking(range(8))
+
+    def test_cold_run_unaffected_by_omitted_warm_start(self):
+        matrix = random_closure(9, seed=2)
+        config = SAPSConfig(iterations=800, restarts=2)
+        a = saps_search_report(matrix, config, rng=5)
+        b = saps_search_report(matrix, config, rng=5, warm_start=None)
+        assert a.ranking == b.ranking
+        assert a.log_preference == b.log_preference
+
+    @pytest.mark.parametrize("warm", [
+        [0, 1, 2],            # wrong length
+        [0, 1, 2, 3, 3, 5, 6, 7, 8],  # repeated element
+        [0, 1, 2, 3, 4, 5, 6, 7, 9],  # out of range
+    ])
+    def test_invalid_permutation_rejected(self, warm):
+        matrix = random_closure(9, seed=2)
+        with pytest.raises(InferenceError):
+            saps_search_report(
+                matrix, SAPSConfig(iterations=10, restarts=1), rng=0,
+                warm_start=warm,
+            )

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.experiments",
     "repro.service",
+    "repro.streaming",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -89,6 +90,10 @@ MODULES = SUBPACKAGES + [
     "repro.experiments.reporting",
     "repro.experiments.export",
     "repro.experiments.replicate",
+    "repro.streaming.buffer",
+    "repro.streaming.incremental",
+    "repro.streaming.stability",
+    "repro.streaming.session",
 ]
 
 

@@ -135,3 +135,27 @@ class TestVoteSet:
     def test_len_and_iter(self, tiny_votes):
         assert len(tiny_votes) == 12
         assert sum(1 for _ in tiny_votes) == 12
+
+    def test_memoization_detects_out_of_band_mutation(self, tiny_votes):
+        """The derived-view caches are sound only because the dataclass
+        is frozen; anything that swaps ``votes`` behind the dataclass's
+        back must fail loudly, not serve stale views.  Incremental
+        accumulation belongs in :class:`repro.streaming.VoteBuffer`."""
+        tiny_votes.arrays()  # build the memo table
+        object.__setattr__(tiny_votes, "votes", tiny_votes.votes[:3])
+        with pytest.raises(ConfigurationError):
+            tiny_votes.arrays()
+        with pytest.raises(ConfigurationError):
+            tiny_votes.by_pair()
+
+    def test_memoized_views_are_cached(self, tiny_votes):
+        assert tiny_votes.arrays() is tiny_votes.arrays()
+        assert tiny_votes.by_worker() is tiny_votes.by_worker()
+
+    def test_pickle_drops_memo_table(self, tiny_votes):
+        import pickle
+
+        tiny_votes.arrays()
+        clone = pickle.loads(pickle.dumps(tiny_votes))
+        assert "_cache" not in clone.__dict__
+        assert clone.votes == tiny_votes.votes
