@@ -1,0 +1,96 @@
+"""Budget ledger: the spend-tracking side of the acquisition loop.
+
+:class:`~repro.budget.model.BudgetModel` answers the *planning*
+question ("how many comparisons does this budget buy?");
+:class:`BudgetLedger` answers the *execution* question as the policy
+runs: how much of the granted vote budget is already spent, how large
+the next round's batch may be, and whether acquisition must stop.  It
+is deliberately dumb — monotone counters plus clipping — so every edge
+regime (zero budget, final partial batch, single-pair universes) is a
+matter of arithmetic rather than scorer behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..budget.model import BudgetModel
+from ..exceptions import BudgetError, ConfigurationError
+
+
+class BudgetLedger:
+    """Tracks votes spent against a fixed total with a per-round batch.
+
+    Parameters
+    ----------
+    total:
+        Total number of votes the campaign may acquire (``>= 0``; zero
+        is legal and yields only empty batches).
+    batch_size:
+        Upper bound per acquisition round (``>= 1``).  The final round
+        is clipped to whatever remains, so a budget smaller than one
+        round's batch simply produces one short batch.
+    """
+
+    def __init__(self, total: int, batch_size: int = 1) -> None:
+        if total < 0:
+            raise BudgetError(f"total budget must be >= 0, got {total}")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.total = int(total)
+        self.batch_size = int(batch_size)
+        self.spent = 0
+
+    @classmethod
+    def from_model(
+        cls, model: BudgetModel, batch_size: int = 1
+    ) -> "BudgetLedger":
+        """Derive the vote budget from a monetary :class:`BudgetModel`.
+
+        ``affordable_comparisons()`` counts unique comparisons with the
+        model's ``workers_per_task`` redundancy already priced in, so
+        the money buys ``comparisons * workers_per_task`` votes.
+        """
+        affordable = model.affordable_comparisons()
+        return cls(
+            affordable * model.workers_per_task, batch_size=batch_size
+        )
+
+    @property
+    def remaining(self) -> int:
+        """Votes still available to spend."""
+        return max(0, self.total - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining == 0
+
+    def can_spend(self, amount: int = 1) -> bool:
+        """Whether ``amount`` more votes fit in the budget."""
+        return 0 <= amount <= self.remaining
+
+    def next_batch(self) -> int:
+        """Size of the next acquisition round: the configured batch,
+        clipped to what remains (possibly zero)."""
+        return min(self.batch_size, self.remaining)
+
+    def charge(self, amount: int) -> int:
+        """Record ``amount`` votes as spent; raises
+        :class:`~repro.exceptions.BudgetError` on overdraft."""
+        if amount < 0:
+            raise BudgetError(f"cannot charge a negative amount ({amount})")
+        if amount > self.remaining:
+            raise BudgetError(
+                f"charge of {amount} exceeds remaining budget "
+                f"({self.remaining} of {self.total})"
+            )
+        self.spent += amount
+        return self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BudgetLedger(total={self.total}, spent={self.spent}, "
+            f"batch_size={self.batch_size})"
+        )

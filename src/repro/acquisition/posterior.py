@@ -1,0 +1,249 @@
+"""Bayesian posterior over pairwise preferences (the acquisition model).
+
+Value-of-information pair selection needs a belief state that can be
+updated per vote and queried per *candidate* pair — including pairs no
+worker has answered yet.  The Steps 1-4 pipeline cannot play that role:
+its truth vector only covers pairs with votes, and recomputing it per
+candidate would cost a full inference pass.  :class:`PairPosterior` is
+the cheap-to-update model the scorers consume:
+
+* **Per-pair Beta beliefs** — every canonical pair ``(lo, hi)`` of the
+  full ``C(n, 2)`` universe carries a ``Beta(a, b)`` posterior over
+  ``Pr[lo ≺ hi]``, seeded with a symmetric ``prior`` pseudo-count and
+  accumulated from *worker-quality-weighted* votes: a vote by worker
+  ``k`` with estimated quality ``q_k`` (Step 1's truth output) adds
+  ``q_k`` to the voted direction instead of a full count, so spam
+  workers barely move the belief while reliable ones do.
+* **Per-object strengths** — the BDP-style scorer (Chen et al.'s
+  Bayesian Decision Process) reasons over a per-object score vector
+  ``alpha_i = prior + (quality-weighted wins of O_i)``, the Dirichlet/
+  Luce-style posterior under which ``Pr[i ≺ j] ~ alpha_i / (alpha_i +
+  alpha_j)`` and observing ``i ≺ j`` increments only ``alpha_i``.
+
+Both views update in O(1) per vote and are kept consistent by
+construction (they are two aggregations of the same weighted counts).
+
+Pair indexing follows ``np.triu_indices`` lexicographic order over the
+full universe — index 0 is ``(0, 1)``, the last is ``(n-2, n-1)`` —
+which makes "sorted by pair id" a well-defined deterministic tie-break
+everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Vote, VoteArrays, WorkerId
+
+
+class PairPosterior:
+    """Beta beliefs over every canonical pair of an ``n``-object universe.
+
+    Parameters
+    ----------
+    n_objects:
+        Size of the object universe (``>= 2``).
+    prior:
+        Symmetric Beta prior pseudo-count per direction (``> 0``);
+        every pair starts at ``Beta(prior, prior)`` (mean 0.5) and every
+        object strength starts at ``prior``.
+    """
+
+    def __init__(self, n_objects: int, prior: float = 1.0) -> None:
+        if n_objects < 2:
+            raise ConfigurationError(
+                f"need at least 2 objects, got {n_objects}"
+            )
+        if prior <= 0.0:
+            raise ConfigurationError(f"prior must be positive, got {prior}")
+        self.n_objects = int(n_objects)
+        self.prior = float(prior)
+        n = self.n_objects
+        lo, hi = np.triu_indices(n, k=1)
+        self._pair_lo = lo.astype(np.int64)
+        self._pair_hi = hi.astype(np.int64)
+        # Row offsets into the triu-flattened pair universe:
+        # index(lo, hi) = offset[lo] + hi - lo - 1.
+        self._row_offset = np.concatenate(
+            ([0], np.cumsum(np.arange(n - 1, 0, -1)))
+        ).astype(np.int64)
+        self._wins_lo = np.zeros(self.n_pairs, dtype=np.float64)
+        self._wins_hi = np.zeros(self.n_pairs, dtype=np.float64)
+        self._strength = np.full(n, self.prior, dtype=np.float64)
+        self._n_observed = 0
+
+    # -- sizes / tables -------------------------------------------------------
+    @property
+    def n_pairs(self) -> int:
+        """Size of the full pair universe, ``C(n, 2)``."""
+        return int(self._pair_lo.shape[0])
+
+    @property
+    def n_observed(self) -> int:
+        """Raw (unweighted) number of votes folded in so far."""
+        return self._n_observed
+
+    @property
+    def pair_lo(self) -> np.ndarray:
+        return self._pair_lo
+
+    @property
+    def pair_hi(self) -> np.ndarray:
+        return self._pair_hi
+
+    @property
+    def strength(self) -> np.ndarray:
+        """Per-object Dirichlet-style strengths ``alpha_i`` (read-only
+        view; the BDP scorer's state)."""
+        return self._strength
+
+    def pair_index(
+        self,
+        lo: Union[int, np.ndarray],
+        hi: Union[int, np.ndarray],
+    ) -> Union[int, np.ndarray]:
+        """Flat universe index of canonical pair(s) ``(lo, hi)``."""
+        lo_arr = np.asarray(lo, dtype=np.int64)
+        hi_arr = np.asarray(hi, dtype=np.int64)
+        if np.any(lo_arr >= hi_arr) or np.any(lo_arr < 0) or \
+                np.any(hi_arr >= self.n_objects):
+            raise ConfigurationError(
+                "pair indices must satisfy 0 <= lo < hi < n_objects"
+            )
+        index = self._row_offset[lo_arr] + hi_arr - lo_arr - 1
+        return int(index) if np.isscalar(lo) or index.ndim == 0 else index
+
+    def pair_at(self, index: int) -> Tuple[int, int]:
+        """The canonical pair at a flat universe index."""
+        return int(self._pair_lo[index]), int(self._pair_hi[index])
+
+    # -- updates --------------------------------------------------------------
+    def observe(self, winner: int, loser: int, weight: float = 1.0) -> None:
+        """Fold in one vote ``winner ≺ loser`` with pseudo-count
+        ``weight`` (typically the voting worker's estimated quality)."""
+        if weight < 0.0:
+            raise ConfigurationError(
+                f"vote weight must be >= 0, got {weight}"
+            )
+        lo, hi = (winner, loser) if winner < loser else (loser, winner)
+        index = self.pair_index(lo, hi)
+        if winner == lo:
+            self._wins_lo[index] += weight
+        else:
+            self._wins_hi[index] += weight
+        self._strength[winner] += weight
+        self._n_observed += 1
+
+    def observe_votes(
+        self,
+        votes: Iterable[Vote],
+        worker_quality: Optional[Mapping[WorkerId, float]] = None,
+    ) -> None:
+        """Fold in a batch of votes, weighting each by its worker's
+        quality when a quality map is given (unknown workers fall back
+        to weight 1.0 — the uninformed prior on a fresh worker)."""
+        for vote in votes:
+            weight = 1.0
+            if worker_quality is not None:
+                weight = float(worker_quality.get(vote.worker, 1.0))
+            self.observe(vote.winner, vote.loser, weight)
+
+    def observe_arrays(
+        self,
+        votes: VoteArrays,
+        worker_quality: Union[Mapping[WorkerId, float], np.ndarray, None]
+        = None,
+    ) -> None:
+        """Fold in a columnar vote batch in one vectorized pass.
+
+        ``worker_quality`` is either a vector aligned with the arrays'
+        worker table or a ``worker id -> q_k`` mapping.
+        """
+        if votes.n_votes == 0:
+            return
+        if worker_quality is None:
+            weights = np.ones(votes.n_votes, dtype=np.float64)
+        elif isinstance(worker_quality, np.ndarray):
+            if worker_quality.shape != (votes.n_workers,):
+                raise ConfigurationError(
+                    f"quality vector of shape {worker_quality.shape} does "
+                    f"not match the {votes.n_workers}-worker table"
+                )
+            weights = worker_quality[votes.worker_idx].astype(np.float64)
+        else:
+            per_worker = np.array(
+                [float(worker_quality.get(w, 1.0))
+                 for w in votes.workers()],
+                dtype=np.float64,
+            )
+            weights = per_worker[votes.worker_idx]
+        if float(weights.min()) < 0.0:
+            raise ConfigurationError("vote weights must be >= 0")
+        index = self.pair_index(votes.pair_lo, votes.pair_hi)
+        vote_index = np.asarray(index)[votes.pair_idx]
+        lo_won = votes.value > 0.5
+        self._wins_lo += np.bincount(
+            vote_index[lo_won], weights=weights[lo_won],
+            minlength=self.n_pairs,
+        )
+        self._wins_hi += np.bincount(
+            vote_index[~lo_won], weights=weights[~lo_won],
+            minlength=self.n_pairs,
+        )
+        self._strength += np.bincount(
+            votes.winner, weights=weights, minlength=self.n_objects
+        )
+        self._n_observed += votes.n_votes
+
+    @classmethod
+    def from_votes(
+        cls,
+        n_objects: int,
+        votes: Union[VoteArrays, Sequence[Vote]],
+        worker_quality: Union[Mapping[WorkerId, float], np.ndarray, None]
+        = None,
+        prior: float = 1.0,
+    ) -> "PairPosterior":
+        """Build a posterior from collected votes in one vectorized pass.
+
+        ``votes`` may be the columnar :class:`~repro.types.VoteArrays`
+        (the streaming/session path) or a vote sequence.
+        """
+        posterior = cls(n_objects, prior=prior)
+        if not isinstance(votes, VoteArrays):
+            votes = VoteArrays.from_votes(n_objects, list(votes))
+        posterior.observe_arrays(votes, worker_quality)
+        return posterior
+
+    # -- beliefs --------------------------------------------------------------
+    def alpha(self) -> np.ndarray:
+        """Beta ``a`` parameter per pair (belief mass on ``lo ≺ hi``)."""
+        return self.prior + self._wins_lo
+
+    def beta(self) -> np.ndarray:
+        """Beta ``b`` parameter per pair (belief mass on ``hi ≺ lo``)."""
+        return self.prior + self._wins_hi
+
+    def mean(self) -> np.ndarray:
+        """Posterior mean ``E[Pr[lo ≺ hi]]`` per pair."""
+        a, b = self.alpha(), self.beta()
+        return a / (a + b)
+
+    def variance(self) -> np.ndarray:
+        """Posterior variance per pair (shrinks as evidence accrues)."""
+        a, b = self.alpha(), self.beta()
+        total = a + b
+        return (a * b) / (total * total * (total + 1.0))
+
+    def entropy(self) -> np.ndarray:
+        """Bernoulli entropy (nats) of the posterior-mean preference."""
+        p = np.clip(self.mean(), 1e-12, 1.0 - 1e-12)
+        return -(p * np.log(p) + (1.0 - p) * np.log1p(-p))
+
+    def observation_mass(self) -> np.ndarray:
+        """Accumulated (quality-weighted) vote mass per pair — the
+        comparison-graph edge weights the InfoMax scorer consumes."""
+        return self._wins_lo + self._wins_hi

@@ -22,7 +22,7 @@ pays a full Steps-1-3 re-inference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,12 +30,19 @@ from .config import PipelineConfig
 from .exceptions import ConfigurationError, InferenceError
 from .graphs.preference_graph import PreferenceGraph
 from .inference.propagation import propagate_matrix
-from .inference.smoothing import smooth_preferences
+from .inference.smoothing import (
+    direct_preference_matrix,
+    smooth_matrix,
+    smooth_preferences,
+)
 from .platform.interactive import InteractivePlatform
 from .rng import SeedLike, ensure_rng
 from .truth.crh import discover_truth
 from .truth.dawid_skene import discover_truth_em
 from .types import InferenceResult, Vote, VoteSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .acquisition import AcquisitionPolicy
 
 
 @dataclass(frozen=True)
@@ -56,8 +63,9 @@ def adaptive_rank(
     rounds: int = 4,
     workers_per_query: int = 1,
     rng: SeedLike = None,
+    policy: Union["AcquisitionPolicy", str, None] = None,
 ) -> Tuple[InferenceResult, List[AdaptiveRoundStats]]:
-    """Rank interactively: seed round + uncertainty-targeted refinement.
+    """Rank interactively: seed round + value-targeted refinement.
 
     Parameters
     ----------
@@ -74,6 +82,15 @@ def adaptive_rank(
         Votes collected per targeted pair per round.
     rng:
         Randomness for pair tie-breaking and inference.
+    policy:
+        Pair-selection seam.  ``None`` keeps the module's historical
+        closure-uncertainty heuristic; otherwise an
+        :class:`~repro.acquisition.AcquisitionPolicy` (or a scorer
+        registry name such as ``"bdp"``) delegates each round's pair
+        selection to the acquisition subsystem: the policy's posterior
+        is rebuilt from all collected votes with the round's fresh
+        worker-quality estimates, the interim closure is attached, and
+        the top-scored pairs become the round's queries.
 
     Returns
     -------
@@ -103,6 +120,17 @@ def adaptive_rank(
     total_budget = platform.remaining_queries()
     if total_budget < 1:
         raise InferenceError("budget affords zero queries")
+    if isinstance(policy, str):
+        from .acquisition import AcquisitionPolicy
+
+        policy = AcquisitionPolicy(
+            n, scorer=policy, workers_per_query=workers_per_query
+        )
+    if policy is not None and policy.n_objects != n:
+        raise ConfigurationError(
+            f"policy universe ({policy.n_objects} objects) does not match "
+            f"the platform ({n} objects)"
+        )
 
     votes: List[Vote] = []
     stats: List[AdaptiveRoundStats] = []
@@ -127,10 +155,16 @@ def adaptive_rank(
         )
         if budget < 1:
             continue
-        closure = _interim_closure(n, votes, pipeline_config, generator)
-        targets = _most_uncertain_pairs(
-            closure, max(1, budget // workers_per_query), generator
+        closure, truth = _interim_inference(
+            n, votes, pipeline_config, generator
         )
+        pair_budget = max(1, budget // workers_per_query)
+        if policy is not None:
+            policy.rebuild(votes, truth.worker_quality)
+            policy.attach_closure(closure)
+            targets = policy.suggest(pair_budget)
+        else:
+            targets = _most_uncertain_pairs(closure, pair_budget, generator)
         spent = 0
         uncertainties = []
         for i, j in targets:
@@ -168,18 +202,45 @@ def _fair_seed_pairs(n: int, budget: int, generator) -> List[Tuple[int, int]]:
     return pairs[:budget] if budget < len(pairs) else pairs
 
 
-def _interim_closure(
+def _interim_inference(
     n: int, votes: List[Vote], config: PipelineConfig, generator
-) -> np.ndarray:
-    """Steps 1-3 on the votes collected so far."""
+) -> Tuple[np.ndarray, object]:
+    """Steps 1-3 on the votes collected so far: ``(closure, truth)``.
+
+    Follows ``config.vote_path``: the columnar matrix kernels
+    (``direct_preference_matrix`` / ``smooth_matrix``) on the default
+    path, the historical object-graph path
+    (``PreferenceGraph`` / ``smooth_preferences``) when configured —
+    both produce the same closure (differential-tested).
+    """
     vote_set = VoteSet.from_votes(n, votes)
     discover = (discover_truth_em if config.truth_engine == "em"
                 else discover_truth)
     truth = discover(vote_set, config.truth)
-    graph = PreferenceGraph.from_direct_preferences(n, truth.preferences)
-    smoothing = smooth_preferences(graph, vote_set, truth.worker_quality,
-                                   config.smoothing, generator)
-    return propagate_matrix(smoothing.graph, config.propagation)
+    if config.vote_path == "columnar":
+        arrays = vote_set.arrays()
+        direct = direct_preference_matrix(arrays, truth.preference_vector)
+        smoothing = smooth_matrix(
+            direct, truth.preference_vector, arrays,
+            truth.quality_vector, config.smoothing, generator,
+        )
+        smoothed = smoothing.matrix
+    else:
+        graph = PreferenceGraph.from_direct_preferences(n, truth.preferences)
+        smoothing = smooth_preferences(
+            graph, vote_set, truth.worker_quality, config.smoothing,
+            generator,
+        )
+        smoothed = smoothing.graph
+    return propagate_matrix(smoothed, config.propagation), truth
+
+
+def _interim_closure(
+    n: int, votes: List[Vote], config: PipelineConfig, generator
+) -> np.ndarray:
+    """Steps 1-3 on the votes collected so far (closure only)."""
+    closure, _ = _interim_inference(n, votes, config, generator)
+    return closure
 
 
 def _most_uncertain_pairs(
@@ -189,9 +250,11 @@ def _most_uncertain_pairs(
     n = closure.shape[0]
     i_idx, j_idx = np.triu_indices(n, k=1)
     uncertainty = np.abs(closure[i_idx, j_idx] - 0.5)
-    # Random jitter breaks ties so repeated rounds don't always requery
-    # the same frontier in the same order.
+    # Sub-1e-9 jitter perturbs near-ties so repeated rounds don't always
+    # requery the same frontier in the same order; the *stable* sort then
+    # resolves exact post-jitter ties by pair id, keeping the selection
+    # deterministic for a fixed closure and generator state.
     jitter = generator.uniform(0.0, 1e-9, size=len(uncertainty))
-    order = np.argsort(uncertainty + jitter)
+    order = np.argsort(uncertainty + jitter, kind="stable")
     chosen = order[: min(count, len(order))]
     return [(int(i_idx[k]), int(j_idx[k])) for k in chosen]

@@ -8,12 +8,18 @@
   distinct workers.
 """
 
-from .generator import TaskAssignment, generate_assignment, batch_into_hits
+from .generator import (
+    TaskAssignment,
+    assignment_from_pairs,
+    batch_into_hits,
+    generate_assignment,
+)
 from .fairness import AssignmentReport, verify_assignment
 from .assigner import WorkerAssignment, assign_hits
 
 __all__ = [
     "TaskAssignment",
+    "assignment_from_pairs",
     "generate_assignment",
     "batch_into_hits",
     "AssignmentReport",

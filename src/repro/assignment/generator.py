@@ -9,7 +9,7 @@ edges into HITs of ``c`` comparisons each.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..budget.planner import BudgetPlan
 from ..exceptions import AssignmentError
@@ -26,16 +26,19 @@ class TaskAssignment:
     Attributes
     ----------
     plan:
-        The budget plan the assignment realises.
+        The budget plan the assignment realises — ``None`` for ad-hoc
+        batches (active acquisition picks pairs round by round, so no
+        single up-front plan exists; see :func:`assignment_from_pairs`).
     task_graph:
-        The fair near-regular task graph ``G_T`` with exactly
-        ``plan.n_comparisons`` edges.
+        The task graph ``G_T``: near-regular with exactly
+        ``plan.n_comparisons`` edges on the planned path, the batch's
+        pairs on the ad-hoc path.
     hits:
         The task-graph edges batched into HITs of at most
         ``comparisons_per_hit`` pairs each.
     """
 
-    plan: BudgetPlan
+    plan: Optional[BudgetPlan]
     task_graph: TaskGraph
     hits: Tuple[HIT, ...]
 
@@ -70,6 +73,33 @@ def batch_into_hits(
         chunk = tuple(edges[start : start + comparisons_per_hit])
         hits.append(HIT(hit_id=len(hits), pairs=chunk))
     return tuple(hits)
+
+
+def assignment_from_pairs(
+    n_objects: int,
+    pairs: Iterable[Pair],
+    *,
+    comparisons_per_hit: int = 1,
+) -> TaskAssignment:
+    """Wrap an explicit pair list into a :class:`TaskAssignment`.
+
+    The active-acquisition path selects pairs by score instead of
+    drawing a near-regular graph, and its batches may be far smaller
+    than the ``n - 1`` edges a :class:`~repro.budget.planner.BudgetPlan`
+    requires — so the result carries ``plan=None`` and preserves the
+    given pair order (highest-value first) instead of shuffling.
+    """
+    if comparisons_per_hit < 1:
+        raise AssignmentError(
+            f"comparisons_per_hit must be >= 1, got {comparisons_per_hit}"
+        )
+    pair_list = list(pairs)
+    task_graph = TaskGraph(n_objects, pair_list)
+    hits = []
+    for start in range(0, len(pair_list), comparisons_per_hit):
+        chunk = tuple(pair_list[start : start + comparisons_per_hit])
+        hits.append(HIT(hit_id=len(hits), pairs=chunk))
+    return TaskAssignment(plan=None, task_graph=task_graph, hits=tuple(hits))
 
 
 def generate_assignment(

@@ -244,6 +244,16 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--save-session", metavar="PATH", default=None,
                         help="write the final session snapshot as JSON "
                              "(local mode only)")
+    stream.add_argument("--active", action="store_true",
+                        help="closed-loop replay: each round asks the "
+                             "acquisition engine which pairs to query "
+                             "next and submits only the log's votes on "
+                             "those pairs")
+    stream.add_argument("--scorer", default="bdp",
+                        choices=["random", "uncertainty", "entropy",
+                                 "bdp", "infomax"],
+                        help="acquisition scorer backing suggest() "
+                             "(default bdp)")
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
@@ -505,11 +515,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.chunk < 1:
         raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
     votes = _read_vote_log(args.votes_jsonl)
-    chunks = [votes[i:i + args.chunk]
-              for i in range(0, len(votes), args.chunk)]
-    if args.url is not None:
+    if args.active:
+        view, replayed = _stream_active(args, votes)
+    elif args.url is not None:
+        chunks = [votes[i:i + args.chunk]
+                  for i in range(0, len(votes), args.chunk)]
         view, replayed = _stream_remote(args, chunks)
     else:
+        chunks = [votes[i:i + args.chunk]
+                  for i in range(0, len(votes), args.chunk)]
         view, replayed = _stream_local(args, chunks)
     view["votes_replayed"] = replayed
     view["votes_total"] = len(votes)
@@ -534,17 +548,126 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _stream_local(args: argparse.Namespace, chunks: list):
-    from .streaming import RankingSession, SessionConfig, session_to_payload
+def _stream_active(args: argparse.Namespace, votes: list):
+    """Closed-loop replay: submit only the pairs the engine asks for.
 
-    config = SessionConfig(
+    The vote log becomes a simulated crowd: votes pool by canonical
+    pair, and each round the session's acquisition scorer suggests the
+    next batch of pairs, of which only the pooled votes are ingested
+    (one per suggested pair per round, in log order).  Rounds where no
+    suggested pair has votes left end the replay — the engine wants
+    information the log cannot provide.
+    """
+    from collections import deque
+
+    from .client import RankingClient, ServerError
+    from .exceptions import ConfigurationError
+    from .types import canonical_pair
+
+    if args.save_session and args.url is not None:
+        raise ConfigurationError(
+            "--save-session only applies to local replay (drop --url)"
+        )
+    pool = {}
+    for vote in votes:
+        pool.setdefault(
+            canonical_pair(vote.winner, vote.loser), deque()
+        ).append(vote)
+
+    if args.url is None:
+        from .streaming import (
+            RankingSession,
+            SessionConfig,
+            session_to_payload,
+        )
+
+        config = _session_config_local(args)
+        session = RankingSession("cli-stream", args.n_objects, config)
+        suggest = session.suggest
+        ingest = session.ingest
+    else:
+        client = RankingClient(args.url)
+        view = client.create_session(
+            args.n_objects, config=_session_config_payload(args)
+        )
+        session_id = view["session_id"]
+        suggest = lambda k: client.suggest_pairs(session_id, k)  # noqa: E731
+        ingest = lambda batch: client.submit_votes(session_id, batch)  # noqa: E731
+
+    replayed = 0
+    rounds = 0
+    remaining = sum(len(q) for q in pool.values())
+    while remaining:
+        targets = suggest(max(args.chunk, 1))
+        batch = []
+        for pair in targets:
+            queue = pool.get(tuple(pair))
+            if queue:
+                batch.append(queue.popleft())
+        if not batch:
+            break
+        try:
+            result = ingest(batch)
+        except ServerError as error:
+            if args.url is not None and error.status == 409:
+                break
+            raise
+        replayed += len(batch)
+        remaining -= len(batch)
+        rounds += 1
+        if args.url is None:
+            verdict = session.verdict
+            mode = result.mode
+        else:
+            verdict = result["verdict"]
+            mode = result.get("update_mode", "?")
+        print(f"  round {rounds:>4}  {replayed:>6} votes  "
+              f"mode={mode:<11} verdict={verdict}",
+              file=sys.stderr, flush=True)
+        if verdict == "stopped":
+            break
+
+    if args.url is None:
+        if args.save_session:
+            from .io import save_payload
+
+            save_payload(session_to_payload(session), args.save_session)
+            print(f"session snapshot written to {args.save_session}",
+                  file=sys.stderr)
+        return session.view(), replayed
+    return client.session_ranking(session_id), replayed
+
+
+def _session_config_local(args: argparse.Namespace):
+    from .streaming import SessionConfig
+
+    return SessionConfig(
         seed=args.seed,
         stability_window=args.window,
         stability_threshold=args.threshold,
         min_votes=args.min_votes,
         early_stop=not args.no_early_stop,
         warm_iterations=args.warm_iterations,
+        scorer=getattr(args, "scorer", "bdp"),
     )
+
+
+def _session_config_payload(args: argparse.Namespace) -> dict:
+    return {
+        "seed": args.seed,
+        "stability_window": args.window,
+        "stability_threshold": args.threshold,
+        "min_votes": args.min_votes,
+        "early_stop": not args.no_early_stop,
+        "warm_iterations": args.warm_iterations,
+        "scorer": getattr(args, "scorer", "bdp"),
+    }
+
+
+def _stream_local(args: argparse.Namespace, chunks: list):
+    from .streaming import RankingSession, session_to_payload
+
+    config = _session_config_local(args)
     session = RankingSession("cli-stream", args.n_objects, config)
     replayed = 0
     for chunk in chunks:
@@ -572,15 +695,9 @@ def _stream_remote(args: argparse.Namespace, chunks: list):
             "--save-session only applies to local replay (drop --url)"
         )
     client = RankingClient(args.url)
-    config = {
-        "seed": args.seed,
-        "stability_window": args.window,
-        "stability_threshold": args.threshold,
-        "min_votes": args.min_votes,
-        "early_stop": not args.no_early_stop,
-        "warm_iterations": args.warm_iterations,
-    }
-    view = client.create_session(args.n_objects, config=config)
+    view = client.create_session(
+        args.n_objects, config=_session_config_payload(args)
+    )
     session_id = view["session_id"]
     replayed = 0
     for chunk in chunks:

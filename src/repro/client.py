@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .config import PipelineConfig
 from .exceptions import ReproError
@@ -221,6 +221,19 @@ class RankingClient:
         order, verdict, stability score and update counters."""
         raw = self._request("GET", f"/v1/sessions/{session_id}/ranking")
         return json.loads(raw)
+
+    def suggest_pairs(
+        self, session_id: str, k: int = 1
+    ) -> List[Tuple[int, int]]:
+        """The ``k`` pairs most worth querying next (``GET
+        .../suggest?k=N``), best first, as canonical ``(lo, hi)``
+        tuples — scored by the session's configured acquisition scorer
+        (:mod:`repro.acquisition`)."""
+        raw = self._request(
+            "GET", f"/v1/sessions/{session_id}/suggest?k={int(k)}"
+        )
+        payload = json.loads(raw)
+        return [(int(lo), int(hi)) for lo, hi in payload["pairs"]]
 
     def delete_session(self, session_id: str) -> Dict[str, object]:
         """Tear a session down (``DELETE /v1/sessions/{id}``)."""

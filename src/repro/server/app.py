@@ -45,11 +45,14 @@ Endpoints
     Prometheus text exposition of the shared metrics registry plus
     instantaneous server gauges.
 ``POST /v1/sessions`` / ``POST /v1/sessions/{id}/votes`` /
-``GET /v1/sessions/{id}/ranking`` / ``DELETE /v1/sessions/{id}``
+``GET /v1/sessions/{id}/ranking`` / ``GET /v1/sessions/{id}/suggest`` /
+``DELETE /v1/sessions/{id}``
     Live incremental ranking sessions (:mod:`repro.streaming`): create
     a session, stream votes into it (each call re-infers the ranking
     incrementally and returns the updated view, including the
-    stability verdict), read the current ranking, and tear down.
+    stability verdict), read the current ranking, ask the acquisition
+    engine which pairs to query next (``?k=N``, scored by the session's
+    configured :mod:`repro.acquisition` scorer), and tear down.
     Session errors map onto HTTP: unknown/evicted id -> 404,
     early-stopped session refusing votes -> 409, session cap -> 429.
 
@@ -69,7 +72,7 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from .._version import __version__
 from ..diagnostics import get_logger
@@ -643,6 +646,11 @@ class _Handler(BaseHTTPRequestHandler):
                     return "sessions_ranking", (session_id,)
                 raise _HttpError(405, f"{method} not allowed for {path}",
                                  close=True)
+            if leaf == "suggest":
+                if method == "GET":
+                    return "sessions_suggest", (session_id,)
+                raise _HttpError(405, f"{method} not allowed for {path}",
+                                 close=True)
         return "unrouted", ()
 
     def _dispatch(self, method: str) -> None:
@@ -821,6 +829,32 @@ class _Handler(BaseHTTPRequestHandler):
             except SessionNotFoundError as error:
                 raise self._session_error(error) from None
             self._send_json(200, session.view())
+        finally:
+            server.release()
+
+    def _handle_sessions_suggest(self, session_id: str) -> None:
+        server = self.ranking
+        server.admit()
+        try:
+            query = parse_qs(urlsplit(self.path).query)
+            raw_k = query.get("k", ["1"])[-1]
+            try:
+                k = int(raw_k)
+            except ValueError:
+                raise _HttpError(400, f"k must be an integer, got {raw_k!r}")
+            if k < 1:
+                raise _HttpError(400, f"k must be >= 1, got {k}")
+            try:
+                session = server.sessions.get(session_id)
+                pairs = session.suggest(k)
+            except (SessionNotFoundError, ConfigurationError) as error:
+                raise self._session_error(error) from None
+            self._send_json(200, {
+                "session_id": session_id,
+                "k": k,
+                "scorer": session.config.scorer,
+                "pairs": [[lo, hi] for lo, hi in pairs],
+            })
         finally:
             server.release()
 

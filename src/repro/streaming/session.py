@@ -82,6 +82,10 @@ class SessionConfig:
         The damped-restart guard of the incremental engine.
     full_rebuild_fraction:
         Dirty-pair fraction above which Step 2 rebuilds in full.
+    scorer:
+        Acquisition scorer (registry name, see
+        :func:`repro.acquisition.make_scorer`) backing
+        :meth:`RankingSession.suggest`.
     """
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -94,8 +98,16 @@ class SessionConfig:
     quality_shift_threshold: float = 0.25
     truth_damping: float = 0.5
     full_rebuild_fraction: float = 0.5
+    scorer: str = "bdp"
 
     def __post_init__(self) -> None:
+        from ..acquisition.scorers import SCORER_CHOICES
+
+        if self.scorer not in SCORER_CHOICES:
+            raise ConfigurationError(
+                f"scorer must be one of {sorted(SCORER_CHOICES)}, "
+                f"got {self.scorer!r}"
+            )
         if self.min_votes < 0:
             raise ConfigurationError(
                 f"min_votes must be >= 0, got {self.min_votes}"
@@ -212,6 +224,51 @@ class RankingSession:
             self._last_report = report
             return report
 
+    def suggest(self, k: int = 1) -> List[tuple]:
+        """The ``k`` pairs most worth querying next, best first.
+
+        Builds the acquisition belief state from the session's votes —
+        weighted by the engine's current worker-quality estimates and
+        conditioned on the warm smoothed matrix's closure when one
+        exists — and scores it with the configured scorer.  Purely a
+        read: the session's warm state, stability window and lifecycle
+        are untouched, and the result is deterministic for a fixed
+        session state and seed (stable tie-break by pair id).
+
+        Works on stopped sessions too (the suggestions are then moot,
+        but harmless) and on empty ones (prior-only scores).
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        from ..acquisition import AcquisitionPolicy
+        from ..inference.propagation import propagate_matrix
+
+        with self.lock:
+            arrays = self.buffer.snapshot()
+            engine = self._engine
+            quality = None
+            if (engine._reported_quality is not None
+                    and engine._worker_ids is not None):
+                quality = {
+                    int(worker): float(q)
+                    for worker, q in zip(engine._worker_ids,
+                                         engine._reported_quality)
+                }
+            closure = None
+            if engine._smoothed is not None:
+                closure = propagate_matrix(
+                    engine._smoothed, self.config.pipeline.propagation
+                )
+            seed = (self.config.seed
+                    if isinstance(self.config.seed, int) else 0)
+            policy = AcquisitionPolicy(
+                self.n_objects, scorer=self.config.scorer, seed=seed
+            )
+            if arrays.n_votes:
+                policy.observe_votes(arrays, quality)
+            policy.attach_closure(closure)
+            return policy.suggest(k)
+
     def recompute(self, rng: SeedLike = None) -> InferenceResult:
         """Full batch (non-warm) inference over the frozen vote pool.
 
@@ -277,7 +334,7 @@ def session_config_from_payload(
         "pipeline", "seed", "stability_window", "stability_threshold",
         "min_votes", "early_stop", "warm_iterations",
         "quality_shift_threshold", "truth_damping",
-        "full_rebuild_fraction",
+        "full_rebuild_fraction", "scorer",
     }
     unknown = sorted(set(payload) - known)
     if unknown:
@@ -305,6 +362,7 @@ def session_config_from_payload(
             full_rebuild_fraction=float(
                 payload.get("full_rebuild_fraction", 0.5)
             ),
+            scorer=str(payload.get("scorer", "bdp")),
         )
     except (ValueError, TypeError, ConfigurationError) as error:
         raise DataFormatError(
@@ -378,6 +436,7 @@ def session_to_payload(session: RankingSession) -> Dict[str, object]:
                 "truth_damping": session.config.truth_damping,
                 "full_rebuild_fraction":
                     session.config.full_rebuild_fraction,
+                "scorer": session.config.scorer,
             },
             "votes": [
                 [vote.worker, vote.winner, vote.loser]
@@ -431,6 +490,7 @@ def session_from_payload(
             full_rebuild_fraction=float(
                 sc.get("full_rebuild_fraction", 0.5)
             ),
+            scorer=str(sc.get("scorer", "bdp")),
         )
         session = RankingSession(
             session_id=str(payload["session_id"]),

@@ -1,0 +1,209 @@
+"""Tests for :class:`repro.acquisition.AcquisitionPolicy` and
+:class:`repro.acquisition.BudgetLedger`: batch selection, determinism,
+budget bookkeeping and the worker-assignment bridge."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import (
+    AcquisitionPolicy,
+    BudgetLedger,
+    PairPosterior,
+)
+from repro.budget import BudgetModel
+from repro.exceptions import BudgetError, ConfigurationError
+from repro.streaming import StabilityMonitor
+from repro.types import Vote, VoteArrays
+
+
+def make_votes(n, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Vote(worker=int(k % 4), winner=int(i), loser=int(j))
+        for k, (i, j) in enumerate(
+            rng.choice(n, size=2, replace=False) for _ in range(count)
+        )
+    ]
+
+
+class TestLedger:
+    def test_counts_down(self):
+        ledger = BudgetLedger(10, batch_size=4)
+        assert ledger.remaining == 10
+        assert ledger.next_batch() == 4
+        ledger.charge(4)
+        ledger.charge(4)
+        assert ledger.remaining == 2
+        assert ledger.next_batch() == 2
+
+    def test_overdraft_raises(self):
+        ledger = BudgetLedger(3)
+        ledger.charge(3)
+        assert ledger.exhausted
+        with pytest.raises(BudgetError):
+            ledger.charge(1)
+
+    def test_negative_charge_raises(self):
+        with pytest.raises(BudgetError):
+            BudgetLedger(3).charge(-1)
+
+    def test_zero_total_is_born_exhausted(self):
+        ledger = BudgetLedger(0)
+        assert ledger.exhausted
+        assert ledger.next_batch() == 0
+        assert not ledger.can_spend()
+
+    def test_from_model_prices_in_redundancy(self):
+        model = BudgetModel(total=1.0, workers_per_task=2, reward=0.025)
+        ledger = BudgetLedger.from_model(model, batch_size=8)
+        # 20 affordable unique comparisons x 2 votes each.
+        assert ledger.remaining == 40
+
+
+class TestSuggest:
+    def test_deterministic_for_fixed_state_and_seed(self):
+        """The regression-tested contract: state + seed => batch."""
+        votes = make_votes(12, 80, seed=5)
+        for scorer in ("random", "uncertainty", "bdp", "infomax"):
+            one = AcquisitionPolicy(12, scorer, seed=9)
+            two = AcquisitionPolicy(12, scorer, seed=9)
+            one.observe_votes(votes)
+            two.observe_votes(VoteArrays.from_votes(12, votes))
+            assert one.suggest(10) == two.suggest(10)
+            assert one.suggest(10) == one.suggest(10)
+
+    def test_seed_changes_tie_resolution(self):
+        # A fresh posterior scores every pair identically under the
+        # uncertainty scorer: the batch is pure tie-break.
+        a = AcquisitionPolicy(10, "uncertainty", seed=1).suggest(5)
+        b = AcquisitionPolicy(10, "uncertainty", seed=2).suggest(5)
+        assert a != b
+
+    def test_ties_spread_instead_of_clustering(self):
+        # Pair-id tie-breaking would return (0,1), (0,2), ... (0,k+1);
+        # the keyed permutation must not pile the batch onto object 0.
+        pairs = AcquisitionPolicy(20, "uncertainty", seed=0).suggest(8)
+        assert len(pairs) == len(set(pairs))
+        touching_zero = sum(1 for lo, hi in pairs if 0 in (lo, hi))
+        assert touching_zero < len(pairs)
+
+    def test_returns_canonical_ordered_pairs(self):
+        policy = AcquisitionPolicy(6, "bdp")
+        policy.observe_votes(make_votes(6, 30))
+        for lo, hi in policy.suggest(15):
+            assert 0 <= lo < hi < 6
+
+    def test_k_clipped_to_universe(self):
+        policy = AcquisitionPolicy(4, "uncertainty")
+        assert len(policy.suggest(100)) == 6  # C(4, 2)
+
+    def test_k_zero_and_negative(self):
+        policy = AcquisitionPolicy(4, "uncertainty")
+        assert policy.suggest(0) == []
+        with pytest.raises(ConfigurationError):
+            policy.suggest(-1)
+
+    def test_needs_k_without_ledger(self):
+        with pytest.raises(ConfigurationError):
+            AcquisitionPolicy(4, "uncertainty").suggest()
+
+    def test_ledger_sizes_the_default_batch(self):
+        ledger = BudgetLedger(12, batch_size=6)
+        policy = AcquisitionPolicy(6, "uncertainty", ledger,
+                                   workers_per_query=2)
+        assert len(policy.suggest()) == 3  # 6 votes / 2 per query
+
+
+class TestObserveAndCharge:
+    def test_observe_votes_charges_the_ledger(self):
+        ledger = BudgetLedger(10)
+        policy = AcquisitionPolicy(6, "uncertainty", ledger)
+        policy.observe_votes(make_votes(6, 4))
+        assert ledger.remaining == 6
+
+    def test_rebuild_never_charges(self):
+        ledger = BudgetLedger(10)
+        policy = AcquisitionPolicy(6, "uncertainty", ledger)
+        votes = make_votes(6, 4)
+        policy.observe_votes(votes)
+        policy.rebuild(votes, worker_quality={0: 0.9})
+        assert ledger.remaining == 6
+        assert policy.posterior.n_observed == 4
+
+    def test_rebuild_reweights_history(self):
+        policy = AcquisitionPolicy(4, "uncertainty")
+        votes = [Vote(worker=0, winner=0, loser=1)]
+        policy.observe_votes(votes, worker_quality={0: 0.2})
+        low = policy.posterior.alpha()[0]
+        policy.rebuild(votes, worker_quality={0: 0.9})
+        assert policy.posterior.alpha()[0] > low
+
+    def test_closure_shape_validated(self):
+        policy = AcquisitionPolicy(5, "uncertainty")
+        with pytest.raises(ConfigurationError):
+            policy.attach_closure(np.zeros((4, 4)))
+        policy.attach_closure(np.zeros((5, 5)))
+        policy.attach_closure(None)
+
+
+class TestAssignmentBridge:
+    def test_batch_becomes_worker_assignment(self):
+        policy = AcquisitionPolicy(8, "uncertainty",
+                                   workers_per_query=2, seed=3)
+        pairs = policy.suggest(6)
+        assignment = policy.build_assignment(pairs, n_workers=5, rng=0)
+        assigned_pairs = {
+            pair for hit in assignment.task_assignment.hits for pair in hit
+        }
+        assert assigned_pairs == set(pairs)
+        # Redundancy: every HIT answered by workers_per_query workers.
+        assert assignment.workers_per_hit == 2
+        assert assignment.total_votes == 2 * len(pairs)
+
+
+class TestStopping:
+    def test_stops_when_budget_cannot_cover_a_query(self):
+        ledger = BudgetLedger(3, batch_size=2)
+        policy = AcquisitionPolicy(5, "uncertainty", ledger,
+                                   workers_per_query=2)
+        assert not policy.should_stop()
+        ledger.charge(2)
+        # One vote left cannot cover a 2-worker query.
+        assert policy.should_stop()
+
+    def test_stops_on_stable_ranking(self):
+        monitor = StabilityMonitor(window=2, threshold=0.5)
+        policy = AcquisitionPolicy(4, "uncertainty", monitor=monitor)
+        assert not policy.should_stop()
+        stable = [0, 1, 2, 3]
+        for _ in range(4):
+            policy.observe_ranking(stable)
+        assert policy.should_stop()
+
+    def test_unbudgeted_unmonitored_never_stops(self):
+        assert not AcquisitionPolicy(4, "uncertainty").should_stop()
+
+
+class TestValidation:
+    def test_universe_mismatch_between_posterior_and_policy(self):
+        policy = AcquisitionPolicy(5, "uncertainty")
+        assert policy.n_objects == 5
+        assert policy.posterior.n_objects == 5
+
+    def test_workers_per_query_validated(self):
+        with pytest.raises(ConfigurationError):
+            AcquisitionPolicy(5, "uncertainty", workers_per_query=0)
+
+    def test_scorer_instance_passthrough(self):
+        posterior = PairPosterior(4)
+        del posterior  # policy builds its own
+
+        class Constant:
+            name = "constant"
+
+            def score(self, state):
+                return np.ones(state.posterior.n_pairs)
+
+        policy = AcquisitionPolicy(4, Constant())
+        assert policy.scorer.name == "constant"
+        assert len(policy.suggest(3)) == 3

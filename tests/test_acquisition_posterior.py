@@ -1,0 +1,128 @@
+"""Tests for :class:`repro.acquisition.PairPosterior`."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import PairPosterior
+from repro.exceptions import ConfigurationError
+from repro.types import Vote, VoteArrays
+
+
+def make_votes(n, count, seed):
+    rng = np.random.default_rng(seed)
+    votes = []
+    for worker in range(count):
+        i, j = rng.choice(n, size=2, replace=False)
+        votes.append(Vote(worker=int(worker % 5), winner=int(i),
+                          loser=int(j)))
+    return votes
+
+
+class TestUniverse:
+    def test_pair_index_is_triu_lexicographic(self):
+        posterior = PairPosterior(5)
+        expected = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        assert posterior.n_pairs == len(expected)
+        for index, (lo, hi) in enumerate(expected):
+            assert posterior.pair_at(index) == (lo, hi)
+            assert posterior.pair_index(
+                np.array([lo]), np.array([hi]))[0] == index
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ConfigurationError):
+            PairPosterior(1)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ConfigurationError):
+            PairPosterior(4, prior=0.0)
+
+
+class TestObserve:
+    def test_prior_means_are_half(self):
+        posterior = PairPosterior(4, prior=2.0)
+        assert np.allclose(posterior.mean(), 0.5)
+        assert posterior.n_observed == 0
+
+    def test_observe_moves_the_mean(self):
+        posterior = PairPosterior(3)
+        posterior.observe(0, 2, weight=1.0)
+        index = int(posterior.pair_index(np.array([0]), np.array([2]))[0])
+        assert posterior.mean()[index] > 0.5
+        assert posterior.alpha()[index] == pytest.approx(2.0)
+        assert posterior.beta()[index] == pytest.approx(1.0)
+        # The winner's strength grows by the vote weight.
+        assert posterior.strength[0] == pytest.approx(2.0)
+        assert posterior.strength[2] == pytest.approx(1.0)
+
+    def test_reversed_order_feeds_the_hi_side(self):
+        posterior = PairPosterior(3)
+        posterior.observe(2, 0, weight=1.0)
+        index = int(posterior.pair_index(np.array([0]), np.array([2]))[0])
+        assert posterior.mean()[index] < 0.5
+
+    def test_quality_weights_scale_counts(self):
+        strong = PairPosterior(3)
+        strong.observe_votes([Vote(worker=1, winner=0, loser=1)],
+                             worker_quality={1: 0.9})
+        weak = PairPosterior(3)
+        weak.observe_votes([Vote(worker=1, winner=0, loser=1)],
+                           worker_quality={1: 0.1})
+        index = 0
+        assert strong.alpha()[index] > weak.alpha()[index]
+        assert strong.mean()[index] > weak.mean()[index]
+
+    def test_unknown_worker_defaults_to_unit_weight(self):
+        posterior = PairPosterior(3)
+        posterior.observe_votes([Vote(worker=99, winner=0, loser=1)],
+                                worker_quality={1: 0.2})
+        assert posterior.alpha()[0] == pytest.approx(2.0)
+
+
+class TestBatchParity:
+    def test_observe_arrays_matches_incremental(self):
+        votes = make_votes(8, 60, seed=3)
+        quality = {w: 0.5 + 0.1 * (w % 5) for w in range(5)}
+
+        one_by_one = PairPosterior(8)
+        one_by_one.observe_votes(votes, quality)
+
+        batched = PairPosterior(8)
+        batched.observe_arrays(VoteArrays.from_votes(8, votes), quality)
+
+        assert one_by_one.n_observed == batched.n_observed == len(votes)
+        np.testing.assert_allclose(one_by_one.alpha(), batched.alpha())
+        np.testing.assert_allclose(one_by_one.beta(), batched.beta())
+        np.testing.assert_allclose(one_by_one.strength, batched.strength)
+
+    def test_from_votes_classmethod(self):
+        votes = make_votes(6, 20, seed=1)
+        direct = PairPosterior.from_votes(6, votes)
+        manual = PairPosterior(6)
+        manual.observe_votes(votes)
+        np.testing.assert_allclose(direct.mean(), manual.mean())
+
+
+class TestMoments:
+    def test_entropy_peaks_at_uncertain_pairs(self):
+        posterior = PairPosterior(3)
+        for _ in range(6):
+            posterior.observe(0, 1)  # decided pair
+        entropy = posterior.entropy()
+        decided = int(posterior.pair_index(np.array([0]),
+                                           np.array([1]))[0])
+        untouched = int(posterior.pair_index(np.array([1]),
+                                             np.array([2]))[0])
+        assert entropy[decided] < entropy[untouched]
+
+    def test_variance_shrinks_with_observations(self):
+        posterior = PairPosterior(3)
+        before = posterior.variance()[0]
+        posterior.observe(0, 1)
+        posterior.observe(1, 0)
+        assert posterior.variance()[0] < before
+
+    def test_observation_mass_counts_weights(self):
+        posterior = PairPosterior(3)
+        posterior.observe(0, 1, weight=0.25)
+        posterior.observe(1, 0, weight=0.5)
+        assert posterior.observation_mass()[0] == pytest.approx(0.75)

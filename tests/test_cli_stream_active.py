@@ -1,0 +1,97 @@
+"""Tests for ``repro stream --active`` (closed-loop acquisition replay)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+from repro.io import load_payload
+from repro.streaming import SESSION_SCHEMA, session_from_payload
+
+FAST_ARGS = ["--warm-iterations", "500"]
+
+
+@pytest.fixture(scope="module")
+def vote_log(tmp_path_factory):
+    scenario = make_scenario(10, 0.6, n_workers=8, rng=5)
+    votes = collect_votes(scenario, rng=5).votes
+    path = tmp_path_factory.mktemp("active") / "votes.jsonl"
+    with open(path, "w") as handle:
+        for vote in votes:
+            handle.write(
+                json.dumps([vote.worker, vote.winner, vote.loser]) + "\n"
+            )
+    return str(path), len(votes)
+
+
+class TestActiveReplay:
+    def test_json_output(self, vote_log, capsys):
+        path, total = vote_log
+        assert main(["stream", path, "--n-objects", "10", "--active",
+                     "--chunk", "20", "--no-early-stop",
+                     *FAST_ARGS, "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        # The engine drives acquisition: it can stop short of the log.
+        assert 0 < payload["votes_replayed"] <= total
+        assert payload["votes_total"] == total
+        assert sorted(payload["ranking"]) == list(range(10))
+        assert "round" in captured.err
+
+    def test_scorer_flag(self, vote_log, capsys):
+        path, total = vote_log
+        assert main(["stream", path, "--n-objects", "10", "--active",
+                     "--scorer", "uncertainty", "--chunk", "25",
+                     "--no-early-stop", *FAST_ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0 < payload["votes_replayed"] <= total
+
+    def test_early_stop_can_end_the_replay(self, vote_log, capsys):
+        path, total = vote_log
+        assert main(["stream", path, "--n-objects", "10", "--active",
+                     "--chunk", "15", "--window", "3",
+                     "--threshold", "0.2", "--min-votes", "60",
+                     *FAST_ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["votes_replayed"] < total
+        assert payload["verdict"] == "stopped"
+
+    def test_replay_is_reproducible(self, vote_log, capsys):
+        path, _ = vote_log
+        outputs = []
+        for _ in range(2):
+            assert main(["stream", path, "--n-objects", "10",
+                         "--active", "--chunk", "20",
+                         "--no-early-stop", *FAST_ARGS, "--json"]) == 0
+            outputs.append(json.loads(capsys.readouterr().out))
+        assert outputs[0]["ranking"] == outputs[1]["ranking"]
+        assert (outputs[0]["votes_replayed"]
+                == outputs[1]["votes_replayed"])
+
+    def test_save_session_snapshot(self, vote_log, tmp_path, capsys):
+        path, _ = vote_log
+        out = tmp_path / "session.json"
+        assert main(["stream", path, "--n-objects", "10", "--active",
+                     "--chunk", "30", "--no-early-stop", *FAST_ARGS,
+                     "--save-session", str(out), "--json"]) == 0
+        capsys.readouterr()
+        payload = load_payload(str(out), schema=SESSION_SCHEMA)
+        restored = session_from_payload(payload)
+        assert restored.config.scorer == "bdp"
+
+    def test_save_session_with_url_rejected(self, vote_log, capsys):
+        path, _ = vote_log
+        assert main(["stream", path, "--n-objects", "10", "--active",
+                     "--url", "http://127.0.0.1:1", "--save-session",
+                     "snapshot.json", *FAST_ARGS]) != 0
+        assert "--save-session only applies" in capsys.readouterr().err
+
+    def test_unknown_scorer_rejected_by_argparse(self, vote_log,
+                                                 capsys):
+        path, _ = vote_log
+        with pytest.raises(SystemExit):
+            main(["stream", path, "--n-objects", "10", "--active",
+                  "--scorer", "oracle"])
+        assert "invalid choice" in capsys.readouterr().err

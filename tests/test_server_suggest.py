@@ -1,0 +1,141 @@
+"""End-to-end tests for ``GET /v1/sessions/<id>/suggest`` and
+:meth:`repro.client.RankingClient.suggest_pairs`."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client import RankingClient, ServerError
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+from repro.server import RankingServer, ServerConfig
+from repro.service.retry import NO_RETRY
+
+FAST_SESSION_CONFIG = {
+    "pipeline": {
+        "saps": {"iterations": 1000, "restarts": 1},
+        "propagation": {"max_hops": 4, "method": "walks"},
+    },
+    "warm_iterations": 300,
+    "early_stop": False,
+}
+
+
+@pytest.fixture(scope="module")
+def votes():
+    scenario = make_scenario(10, 0.6, n_workers=8, rng=5)
+    return [[v.worker, v.winner, v.loser]
+            for v in collect_votes(scenario, rng=5).votes]
+
+
+@pytest.fixture
+def server():
+    ranking_server = RankingServer(ServerConfig(
+        port=0, workers=2, queue_depth=8, no_cache=True,
+    ))
+    ranking_server.start()
+    yield ranking_server
+    ranking_server.stop(drain_timeout=5.0)
+
+
+@pytest.fixture
+def client(server):
+    return RankingClient(server.url, retry=NO_RETRY)
+
+
+def _request(url, method="GET", body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestSuggestEndpoint:
+    def test_fresh_session_suggests(self, server, client):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        session_id = view["session_id"]
+        status, payload = _request(
+            f"{server.url}/v1/sessions/{session_id}/suggest?k=3"
+        )
+        assert status == 200
+        assert payload["session_id"] == session_id
+        assert payload["k"] == 3
+        assert payload["scorer"] == "bdp"
+        assert len(payload["pairs"]) == 3
+        for lo, hi in payload["pairs"]:
+            assert 0 <= lo < hi < 10
+
+    def test_k_defaults_to_one(self, server, client):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        status, payload = _request(
+            f"{server.url}/v1/sessions/{view['session_id']}/suggest"
+        )
+        assert status == 200
+        assert payload["k"] == 1
+        assert len(payload["pairs"]) == 1
+
+    def test_suggestions_deterministic_across_requests(
+            self, server, client, votes):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        session_id = view["session_id"]
+        client.submit_votes(session_id, votes[:100])
+        url = f"{server.url}/v1/sessions/{session_id}/suggest?k=5"
+        _, first = _request(url)
+        _, second = _request(url)
+        assert first["pairs"] == second["pairs"]
+
+    def test_configured_scorer_is_reported(self, server, client):
+        config = dict(FAST_SESSION_CONFIG, scorer="infomax")
+        view = client.create_session(10, config=config)
+        status, payload = _request(
+            f"{server.url}/v1/sessions/{view['session_id']}/suggest"
+        )
+        assert status == 200
+        assert payload["scorer"] == "infomax"
+
+    def test_bad_k_is_400(self, server, client):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        base = f"{server.url}/v1/sessions/{view['session_id']}/suggest"
+        for query in ("?k=0", "?k=-2", "?k=two"):
+            status, payload = _request(base + query)
+            assert status == 400
+            assert "error" in payload
+
+    def test_unknown_session_is_404(self, server):
+        status, payload = _request(
+            f"{server.url}/v1/sessions/no-such/suggest"
+        )
+        assert status == 404
+        assert "error" in payload
+
+    def test_post_is_405(self, server, client):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        status, _ = _request(
+            f"{server.url}/v1/sessions/{view['session_id']}/suggest",
+            method="POST", body={},
+        )
+        assert status == 405
+
+
+class TestClientSuggestPairs:
+    def test_round_trip(self, client, votes):
+        view = client.create_session(10, config=FAST_SESSION_CONFIG)
+        session_id = view["session_id"]
+        client.submit_votes(session_id, votes[:80])
+        pairs = client.suggest_pairs(session_id, k=4)
+        assert len(pairs) == 4
+        assert all(isinstance(pair, tuple) for pair in pairs)
+        assert pairs == client.suggest_pairs(session_id, k=4)
+
+    def test_unknown_session_raises(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.suggest_pairs("missing", k=2)
+        assert excinfo.value.status == 404
