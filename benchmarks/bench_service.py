@@ -8,10 +8,27 @@ Drives the same synthetic scenario workload through (a) the in-process
 and cache hit-rate per mode, so later PRs can track the serving
 overhead and tail latency over time.
 
-A final sweep repeats both modes once per execution backend
+A backend sweep repeats both modes once per execution backend
 (serial / thread / process) and records each one's p95 — the cost of
 pool overhead and the benefit of process isolation, measured at the
 same workload.
+
+A multi-process sweep then runs the pre-fork ``SO_REUSEPORT`` group
+(:class:`~repro.server.PreforkSupervisor`) at 1 and 2 processes over a
+shared cache directory: a closed-loop pass for throughput with results
+checked bit-identical against the serial in-process oracle, and an
+**open-loop** pass — requests fire at their scheduled arrival times
+whether or not earlier ones finished, so the recorded p99 includes
+queueing delay and characterizes behaviour under overload.  On hosts
+with 2+ cores the sweep enforces that 2 processes deliver at least
+1.7x the single-process closed-loop throughput.
+
+``--smoke`` runs the multi-process serving contract only (tiny sizes,
+no timing thresholds, nothing written): a 2-process group must return
+bit-identical results to the serial oracle, and a result computed by
+one server process must be served from the shared spill cache by a
+*different* process (a fresh single-child generation over the same
+cache directory).
 
 Not collected by pytest (no ``test_`` prefix) — run directly:
 
@@ -23,14 +40,18 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
+import socket
+import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.client import RankingClient
-from repro.server import RankingServer, ServerConfig
+from repro.server import PreforkSupervisor, RankingServer, ServerConfig
 from repro.service import (
     BatchExecutor,
     MetricsRegistry,
@@ -41,20 +62,49 @@ from repro.service import (
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+HAVE_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
 
-def make_jobs(count: int, n_objects: int, repeat_every: int) -> List[RankingJob]:
+#: Closed-loop speedup two serving processes must deliver over one on a
+#: multi-core host (single-core hosts record the sweep but cannot be
+#: gated — there is no second core to win).
+REQUIRED_SPEEDUP_2P = 1.7
+
+
+def make_jobs(count: int, n_objects: int, repeat_every: int,
+              seed_offset: int = 0) -> List[RankingJob]:
     """Synthetic scenario jobs; every ``repeat_every``-th seed repeats so
-    the cache has something to hit."""
+    the cache has something to hit (``repeat_every=0``: all distinct)."""
     jobs = []
     for index in range(count):
         seed = index % repeat_every if repeat_every else index
         jobs.append(RankingJob(
-            job_id=f"bench-{index}",
+            job_id=f"bench-{seed_offset + index}",
             scenario=ScenarioSpec(n_objects, 0.5, n_workers=12,
                                   workers_per_task=5),
-            seed=seed,
+            seed=seed_offset + seed,
         ))
     return jobs
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def oracle_rankings(jobs: List[RankingJob]) -> Dict[str, List[int]]:
+    """Serial, cache-free reference rankings keyed by job id — the
+    bit-identity oracle every served mode is checked against."""
+    executor = BatchExecutor(1, cache=None, metrics=MetricsRegistry(),
+                             backend="serial")
+    report = executor.run(jobs)
+    assert report.ok, "oracle jobs must all succeed"
+    return {
+        outcome.job_id: list(outcome.result.ranking.order)
+        for outcome in report.results
+    }
 
 
 def summarise(metrics: MetricsRegistry, elapsed: float,
@@ -107,6 +157,246 @@ def bench_server(jobs: List[RankingJob], workers: int,
         server.stop(drain_timeout=30.0)
 
 
+# ---------------------------------------------------------------------------
+# Multi-process sweep: pre-fork group, closed- and open-loop
+# ---------------------------------------------------------------------------
+
+def bench_closed_loop(
+    url: str, jobs: List[RankingJob], clients: int,
+) -> Tuple[Dict[str, object], Dict[str, List[int]]]:
+    """Closed-loop client pool against any URL; per-process server
+    metrics are invisible to a group, so timing is all client-side.
+    Returns (summary, rankings-by-job-id) for oracle comparison."""
+    client = RankingClient(url, timeout=300.0)
+
+    def call(job: RankingJob):
+        started = time.perf_counter()
+        outcome = client.rank_job(job)
+        return outcome, time.perf_counter() - started
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        results = list(pool.map(call, jobs))
+    elapsed = time.perf_counter() - start
+    assert all(o.ok for o, _ in results), "benchmark jobs must all succeed"
+    latencies = [latency for _, latency in results]
+    summary = {
+        "jobs": len(jobs),
+        "seconds": round(elapsed, 4),
+        "throughput_jobs_per_s": round(len(jobs) / elapsed, 3)
+        if elapsed else 0.0,
+        "latency_p50_s": round(_percentile(latencies, 0.5), 6),
+        "latency_p99_s": round(_percentile(latencies, 0.99), 6),
+        "from_cache": sum(1 for o, _ in results if o.from_cache),
+    }
+    rankings = {
+        o.job_id: list(o.result.ranking.order) for o, _ in results
+    }
+    return summary, rankings
+
+
+def bench_open_loop(
+    url: str, jobs: List[RankingJob], rate: float,
+    max_inflight: int = 64,
+) -> Dict[str, object]:
+    """Open-loop load: request ``i`` fires at ``start + i/rate`` whether
+    or not earlier ones finished, and its latency counts from that
+    *scheduled* instant — so when the server falls behind the offered
+    rate, the queueing delay lands in p99 instead of silently slowing
+    the arrival process (the closed-loop blind spot)."""
+    client = RankingClient(url, timeout=300.0)
+    lock = threading.Lock()
+    outcomes: List[Tuple[bool, float]] = []
+
+    def call(job: RankingJob, scheduled: float) -> None:
+        try:
+            ok = client.rank_job(job).ok
+        except Exception:  # noqa: BLE001 — overload errors are data here
+            ok = False
+        latency = time.perf_counter() - scheduled
+        with lock:
+            outcomes.append((ok, latency))
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max_inflight) as pool:
+        for index, job in enumerate(jobs):
+            scheduled = start + index / rate
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            pool.submit(call, job, scheduled)
+    elapsed = time.perf_counter() - start
+    completed = sum(1 for ok, _ in outcomes if ok)
+    latencies = [latency for ok, latency in outcomes if ok]
+    return {
+        "offered_rate_jobs_per_s": round(rate, 3),
+        "jobs": len(jobs),
+        "completed_ok": completed,
+        "errors": len(outcomes) - completed,
+        "seconds": round(elapsed, 4),
+        "sustained_throughput_jobs_per_s": round(completed / elapsed, 3)
+        if elapsed else 0.0,
+        "latency_p50_s": round(_percentile(latencies, 0.5), 6),
+        "latency_p99_s": round(_percentile(latencies, 0.99), 6),
+    }
+
+
+def _group_config(processes: int, workers: int, clients: int,
+                  cache_dir: Optional[str]) -> ServerConfig:
+    return ServerConfig(
+        port=0, workers=workers, queue_depth=max(4 * clients, 16),
+        default_timeout=300.0, cache_dir=cache_dir,
+        drain_grace=10.0, processes=processes,
+    )
+
+
+def multiprocess_sweep(args: argparse.Namespace) -> Dict[str, object]:
+    """1- and 2-process pre-fork groups over one workload each.
+
+    Both group sizes run through :class:`PreforkSupervisor` (the
+    1-process group is one child process, not the in-process server),
+    so the parent only runs clients in both cases and the comparison
+    isolates exactly the win of the second serving process.  Seeds are
+    all distinct and each group gets a fresh cache directory, so every
+    job is computed once — no cache hits flattering the wide group.
+    """
+    if not HAVE_REUSEPORT:
+        return {"skipped": "platform lacks SO_REUSEPORT"}
+    cpu_count = os.cpu_count() or 1
+    sweep_jobs = make_jobs(args.jobs, args.n_objects, repeat_every=0,
+                           seed_offset=10_000)
+    open_jobs = make_jobs(args.jobs, args.n_objects, repeat_every=0,
+                          seed_offset=20_000)
+    oracle = oracle_rankings(sweep_jobs)
+    sweep: Dict[str, Dict[str, object]] = {}
+    rate: Optional[float] = None
+    for processes in (1, 2):
+        print(f"multi-process sweep [{processes} process(es)] ...")
+        with tempfile.TemporaryDirectory(
+            prefix=f"bench-service-{processes}p-"
+        ) as cache_dir:
+            supervisor = PreforkSupervisor(_group_config(
+                processes, args.workers, args.clients, cache_dir))
+            supervisor.start()
+            try:
+                closed, rankings = bench_closed_loop(
+                    supervisor.url, sweep_jobs, args.clients)
+                if rankings != oracle:
+                    raise SystemExit(
+                        f"{processes}-process group results diverged "
+                        f"from the serial oracle"
+                    )
+                if rate is None:
+                    # Offer 1.5x what one process sustains — overload by
+                    # construction, identical for both group sizes.
+                    rate = max(1.0, 1.5 * closed["throughput_jobs_per_s"])
+                opened = bench_open_loop(supervisor.url, open_jobs, rate)
+            finally:
+                supervisor.stop()
+        sweep[str(processes)] = {
+            "closed_loop": closed,
+            "open_loop": opened,
+            "oracle_match": True,
+        }
+        print(f"  closed {closed['throughput_jobs_per_s']} jobs/s "
+              f"(p99 {closed['latency_p99_s']}s), open-loop sustained "
+              f"{opened['sustained_throughput_jobs_per_s']} jobs/s "
+              f"(p99 {opened['latency_p99_s']}s)")
+    single = sweep["1"]["closed_loop"]["throughput_jobs_per_s"]
+    double = sweep["2"]["closed_loop"]["throughput_jobs_per_s"]
+    speedup = round(double / single, 3) if single else 0.0
+    enforced = cpu_count >= 2
+    passed = (not enforced) or speedup >= REQUIRED_SPEEDUP_2P
+    print(f"  2-process speedup {speedup}x "
+          f"({'gated' if enforced else 'not gated'}: {cpu_count} core(s))")
+    result = {
+        "cpu_count": cpu_count,
+        "sweep": sweep,
+        "speedup_gate": {
+            "required": REQUIRED_SPEEDUP_2P,
+            "observed": speedup,
+            "enforced": enforced,
+            "passed": passed,
+        },
+    }
+    if not passed:
+        raise SystemExit(
+            f"2-process group reached only {speedup}x single-process "
+            f"throughput on a {cpu_count}-core host "
+            f"(required {REQUIRED_SPEEDUP_2P}x)"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Smoke: the multi-process serving contract, CI-sized
+# ---------------------------------------------------------------------------
+
+def run_smoke() -> int:
+    """Contract checks only — tiny sizes, no timing thresholds.
+
+    1. A 2-process ``SO_REUSEPORT`` group returns results bit-identical
+       to the serial in-process oracle.
+    2. A second pass over the same group is answered from cache (every
+       fingerprint was spilled on the first pass).
+    3. A *fresh* single-child generation over the same cache directory
+       serves every job ``from_cache`` — the serving process never
+       computed them, so the hits crossed a process boundary through
+       the shared spill tier.
+    """
+    if not HAVE_REUSEPORT:
+        print("smoke: skipped (platform lacks SO_REUSEPORT)")
+        return 0
+    jobs = make_jobs(6, 8, repeat_every=0)
+    oracle = oracle_rankings(jobs)
+    with tempfile.TemporaryDirectory(prefix="bench-service-smoke-") \
+            as cache_dir:
+        supervisor = PreforkSupervisor(_group_config(
+            processes=2, workers=1, clients=2, cache_dir=cache_dir))
+        supervisor.start()
+        try:
+            _, first = bench_closed_loop(supervisor.url, jobs, clients=2)
+            if first != oracle:
+                print("smoke: FAIL — 2-process results diverged from "
+                      "the serial oracle")
+                return 1
+            print("smoke: 2-process group matches the serial oracle "
+                  f"({len(jobs)} jobs)")
+            repeat_summary, repeat = bench_closed_loop(
+                supervisor.url, jobs, clients=2)
+            if repeat != oracle or \
+                    repeat_summary["from_cache"] != len(jobs):
+                print("smoke: FAIL — repeat pass not fully cached "
+                      f"({repeat_summary['from_cache']}/{len(jobs)})")
+                return 1
+            print("smoke: repeat pass fully served from cache")
+        finally:
+            if not supervisor.stop():
+                print("smoke: FAIL — group did not drain cleanly")
+                return 1
+        # A fresh generation: one child that computed nothing, same
+        # spill directory.  Every hit is necessarily cross-process.
+        generation = PreforkSupervisor(_group_config(
+            processes=1, workers=1, clients=2, cache_dir=cache_dir))
+        generation.start()
+        try:
+            summary, rankings = bench_closed_loop(
+                generation.url, jobs, clients=2)
+        finally:
+            if not generation.stop():
+                print("smoke: FAIL — fresh generation did not drain "
+                      "cleanly")
+                return 1
+        if rankings != oracle or summary["from_cache"] != len(jobs):
+            print("smoke: FAIL — fresh generation recomputed "
+                  f"({summary['from_cache']}/{len(jobs)} from cache)")
+            return 1
+        print("smoke: fresh process generation served every job from "
+              "the shared spill cache")
+    print("smoke: multi-process serving contract OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=24,
@@ -122,7 +412,14 @@ def main() -> int:
                              "(default 8)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_service.json"),
                         help="output path (default <repo>/BENCH_service.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the multi-process serving contract "
+                             "checks (tiny sizes, no file written); exits "
+                             "non-zero on any violation")
     args = parser.parse_args()
+
+    if args.smoke:
+        return run_smoke()
 
     jobs = make_jobs(args.jobs, args.n_objects, args.repeat_every)
     print(f"workload: {args.jobs} scenario jobs, {args.n_objects} objects, "
@@ -154,10 +451,13 @@ def main() -> int:
               f"{executor_backends[backend]['latency_p95_s']}s, "
               f"server p95 {server_backends[backend]['latency_p95_s']}s")
 
+    multiprocess = multiprocess_sweep(args)
+
     payload = {
         "generated_utc": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "workload": {
             "jobs": args.jobs,
             "n_objects": args.n_objects,
@@ -169,6 +469,7 @@ def main() -> int:
         "server": server_summary,
         "executor_backends": executor_backends,
         "server_backends": server_backends,
+        "multiprocess": multiprocess,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

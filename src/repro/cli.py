@@ -212,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="idle seconds before a session is evictable; "
                             "0 disables TTL eviction (default 3600)")
+    serve.add_argument("--processes", type=int, default=1, metavar="N",
+                       help="serving processes sharing the port via "
+                            "SO_REUSEPORT; each runs the full server and "
+                            "crashed ones are respawned (default 1: "
+                            "classic single-process serving)")
 
     stream = commands.add_parser(
         "stream", parents=[verbose_parent],
@@ -450,8 +455,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         max_sessions=args.max_sessions,
         session_ttl=args.session_ttl if args.session_ttl > 0 else None,
+        processes=args.processes,
     )
-    server = RankingServer(config)
     stop = threading.Event()
 
     def _request_stop(signum: int, frame: object) -> None:
@@ -459,6 +464,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _request_stop)
     signal.signal(signal.SIGINT, _request_stop)
+    if config.processes > 1:
+        return _serve_prefork(config, stop)
+    server = RankingServer(config)
     server.start()
     # Operational one-liner on stderr (stdout stays clean/machine-free);
     # `repro serve --port 0` consumers parse this line for the real port.
@@ -471,6 +479,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     print("draining...", file=sys.stderr, flush=True)
     drained = server.stop()
+    print("stopped" + ("" if drained else " (drain grace expired)"),
+          file=sys.stderr, flush=True)
+    return 0 if drained else 1
+
+
+def _serve_prefork(config: object, stop: object) -> int:
+    """``repro serve --processes N``: run a pre-fork serving group.
+
+    Same operational contract as single-process serving — the
+    ``serving on <url>`` stderr line carries the real port, SIGTERM or
+    SIGINT drains gracefully, exit 0 means every child drained clean.
+    """
+    from .server import PreforkSupervisor
+
+    supervisor = PreforkSupervisor(config)
+    supervisor.start()
+    print(f"serving on {supervisor.url} "
+          f"(processes={config.processes}, workers={config.workers}, "
+          f"queue_depth={config.queue_depth})",
+          file=sys.stderr, flush=True)
+    supervisor.serve_forever(stop_event=stop, poll_interval=0.2)
+    print("draining...", file=sys.stderr, flush=True)
+    drained = supervisor.stop()
     print("stopped" + ("" if drained else " (drain grace expired)"),
           file=sys.stderr, flush=True)
     return 0 if drained else 1

@@ -25,6 +25,8 @@ the exact same versioned schema.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Union
 
@@ -33,6 +35,37 @@ from .types import InferenceResult, Ranking
 
 #: Current schema tag written to / required from files.
 SCHEMA = "repro.inference_result/1"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tempfile + ``os.replace``).
+
+    The text lands in a uniquely named temporary file in the *same
+    directory* (so the final rename never crosses a filesystem) and is
+    moved onto ``path`` with :func:`os.replace`, which POSIX guarantees
+    to be atomic.  A concurrent reader therefore sees either the old
+    complete content or the new complete content — never a truncated
+    or interleaved file — which is what makes one spill directory safe
+    to share between processes.  The temporary file is removed on any
+    failure, so crashes never leave partial writes under the final
+    name.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=str(path.parent), prefix=f".{path.name}.",
+        suffix=".tmp", delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def result_to_payload(result: InferenceResult) -> Dict[str, object]:
@@ -118,7 +151,7 @@ def save_payload(payload: Dict[str, object], path: Union[str, Path]) -> None:
         raise ConfigurationError(
             "payload must be a dict carrying a 'schema' tag"
         )
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def load_payload(
@@ -150,9 +183,14 @@ def load_payload(
 
 
 def save_result(result: InferenceResult, path: Union[str, Path]) -> None:
-    """Write an inference result as versioned JSON."""
+    """Write an inference result as versioned JSON.
+
+    The write is atomic (:func:`atomic_write_text`): concurrent readers
+    — and other processes sharing a cache spill directory — can never
+    observe a torn or truncated file.
+    """
     payload = result_to_payload(result)
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def load_result(path: Union[str, Path]) -> InferenceResult:

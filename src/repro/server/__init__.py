@@ -17,10 +17,14 @@ Quickstart
 True
 
 The CLI exposes the same machinery as ``repro serve``; the matching
-client lives in :mod:`repro.client`.
+client lives in :mod:`repro.client`.  ``repro serve --processes N``
+scales the same API across a pre-fork group of N processes sharing one
+``SO_REUSEPORT`` port (:class:`PreforkSupervisor`), with a crash-safe
+shared result cache underneath.
 """
 
 from .app import AdmissionGate, RankingServer, ServerConfig
+from .prefork import PreforkSupervisor
 from .prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
@@ -30,6 +34,7 @@ from .prometheus import (
 __all__ = [
     "AdmissionGate",
     "PROMETHEUS_CONTENT_TYPE",
+    "PreforkSupervisor",
     "RankingServer",
     "ServerConfig",
     "render_prometheus",

@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -164,6 +165,18 @@ class ServerConfig:
     session_ttl:
         Seconds a session may sit idle before becoming evictable;
         ``None`` disables TTL eviction.
+    processes:
+        Serving processes.  1 (the default) keeps the classic
+        single-process threaded server.  Beyond 1 the CLI runs a
+        pre-fork group (:class:`~repro.server.prefork.PreforkSupervisor`):
+        each child binds the same port with ``SO_REUSEPORT`` and the
+        kernel spreads connections across them.  Requires a platform
+        with ``SO_REUSEPORT`` (Linux/BSD).
+    reuse_port:
+        Bind the listener with ``SO_REUSEPORT`` so sibling processes
+        can share the port.  Implied by ``processes > 1``; exposed
+        separately so embedding applications can run their own
+        process groups.
     """
 
     host: str = "127.0.0.1"
@@ -181,6 +194,8 @@ class ServerConfig:
     backend: Optional[str] = None
     max_sessions: int = 64
     session_ttl: Optional[float] = 3600.0
+    processes: int = 1
+    reuse_port: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -212,6 +227,20 @@ class ServerConfig:
             raise ConfigurationError(
                 "session_ttl must be positive or None, "
                 f"got {self.session_ttl}"
+            )
+        if self.processes < 1:
+            raise ConfigurationError(
+                f"processes must be >= 1, got {self.processes}"
+            )
+        if self.processes > 1 and not hasattr(socket, "SO_REUSEPORT"):
+            raise ConfigurationError(
+                "processes > 1 needs SO_REUSEPORT, which this platform "
+                "does not provide"
+            )
+        if self.reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ConfigurationError(
+                "reuse_port needs SO_REUSEPORT, which this platform "
+                "does not provide"
             )
 
 
@@ -283,6 +312,15 @@ class _Server(ThreadingHTTPServer):
     allow_reuse_address = True
 
     ranking: "RankingServer"
+    #: Set before binding when sibling processes will share the port.
+    reuse_port = False
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        super().server_bind()
 
 
 class RankingServer:
@@ -332,10 +370,21 @@ class RankingServer:
         self._stopped = threading.Event()
         self._request_ids = itertools.count(1)
         self._thread: Optional[threading.Thread] = None
+        # Bind manually so reuse_port is set on the socket first.
         self._httpd = _Server(
-            (self._config.host, self._config.port), _Handler
+            (self._config.host, self._config.port), _Handler,
+            bind_and_activate=False,
         )
         self._httpd.ranking = self
+        self._httpd.reuse_port = (
+            self._config.reuse_port or self._config.processes > 1
+        )
+        try:
+            self._httpd.server_bind()
+            self._httpd.server_activate()
+        except BaseException:
+            self._httpd.server_close()
+            raise
 
     # -- introspection ------------------------------------------------------
 
@@ -386,6 +435,11 @@ class RankingServer:
             raise ConfigurationError("server already stopped")
         if self._thread is not None:
             return
+        if self._cache is not None:
+            warmed = self._cache.warm()
+            if warmed:
+                _log.info("warmed %d spilled result(s) into the cache",
+                          warmed)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.1},

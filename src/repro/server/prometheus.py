@@ -41,9 +41,18 @@ def sanitize_metric_name(name: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and value == float("inf"):
-        return "+Inf"
-    return repr(float(value)) if isinstance(value, float) else str(value)
+    # The text exposition format spells the specials "+Inf", "-Inf" and
+    # "NaN" — Python's repr ("inf" / "-inf" / "nan") is not parseable
+    # by standard scrapers.
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
 
 
 def render_prometheus(

@@ -25,6 +25,7 @@ JSONL out); see :mod:`repro.service.jobs` for the line formats.
 
 from .cache import ResultCache, fingerprint_job
 from .executor import BatchExecutor, BatchReport, JobTimeoutError, run_batch
+from .shared_cache import HAVE_FCNTL, FileLock, SpillIndex
 from .jobs import (
     BATCH_METRICS_SCHEMA,
     JOB_RESULT_SCHEMA,
@@ -58,6 +59,8 @@ __all__ = [
     "JOB_SCHEMA",
     "BatchExecutor",
     "BatchReport",
+    "FileLock",
+    "HAVE_FCNTL",
     "JobResult",
     "JobStatus",
     "JobTimeoutError",
@@ -69,6 +72,7 @@ __all__ = [
     "RetryOutcome",
     "RetryPolicy",
     "ScenarioSpec",
+    "SpillIndex",
     "TimerStats",
     "TransientJobError",
     "call_with_retry",

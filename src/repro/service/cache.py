@@ -8,7 +8,11 @@ irrelevant; dict key order is irrelevant), and :class:`ResultCache`
 maps keys to :class:`~repro.types.InferenceResult` values through a
 thread-safe in-memory LRU, optionally spilling every entry to a
 directory of :mod:`repro.io`-schema JSON files so caches survive
-process restarts.
+process restarts.  Spill writes are atomic and journaled in an on-disk
+index (:mod:`repro.service.shared_cache`), so one spill directory can
+be shared by N processes — each process's memory tier misses fall
+through to the common disk tier, which is how the pre-fork server
+shares cache hits across its children.
 
 A job without a seed is *not* deterministic (fresh entropy per run) and
 therefore gets a unique, uncacheable fingerprint.
@@ -20,16 +24,18 @@ import dataclasses
 import hashlib
 import itertools
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..diagnostics import get_logger
 from ..exceptions import ConfigurationError, DataFormatError
-from ..io import load_result, save_result
+from ..io import result_from_payload, save_result
 from ..types import InferenceResult
 from .jobs import RankingJob, config_to_payload
+from .shared_cache import SpillIndex, spill_index_for
 
 _log = get_logger("service.cache")
 
@@ -72,26 +78,50 @@ class ResultCache:
     ----------
     max_entries:
         In-memory capacity; the least recently *used* entry is evicted
-        first.  Persisted files are never evicted.
+        first.  Persisted files are never evicted by the memory tier.
     persist_dir:
         Optional directory for JSON spill files (created on demand).
-        Every stored entry is written as ``<key>.json`` in the
-        :mod:`repro.io` schema; in-memory misses fall back to the
-        directory, and a corrupt or truncated spill file is logged,
-        deleted and treated as a miss — never an error.
+        Every stored entry is written **atomically** as ``<key>.json``
+        in the :mod:`repro.io` schema and journaled in the directory's
+        :class:`~repro.service.shared_cache.SpillIndex`; in-memory
+        misses fall back to the directory.  Because writes are atomic,
+        the directory is safe to share between processes — N caches
+        pointed at one ``persist_dir`` serve each other's entries
+        (``disk_loads`` counts those cross-tier hits).  A spill file
+        that exists but does not decode is genuinely corrupt (disk
+        fault, schema drift); it is logged, deleted and treated as a
+        miss — never an error — and the drop is guarded so a peer's
+        concurrent replacement or concurrent drop is never deleted or
+        double-counted.
+    max_spill_files:
+        Optional bound on the number of spill files; beyond it the
+        oldest entries are pruned (under the directory's advisory file
+        lock, so concurrent pruners cooperate).  ``None`` keeps every
+        spill file forever.
     """
 
     def __init__(
         self,
         max_entries: int = 256,
         persist_dir: Optional[Union[str, Path]] = None,
+        max_spill_files: Optional[int] = None,
     ):
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
             )
+        if max_spill_files is not None and max_spill_files < 1:
+            raise ConfigurationError(
+                f"max_spill_files must be >= 1 or None, got {max_spill_files}"
+            )
+        if max_spill_files is not None and persist_dir is None:
+            raise ConfigurationError(
+                "max_spill_files requires persist_dir"
+            )
         self._max_entries = max_entries
         self._persist_dir = Path(persist_dir) if persist_dir else None
+        self._max_spill_files = max_spill_files
+        self._index: Optional[SpillIndex] = spill_index_for(self._persist_dir)
         self._entries: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -150,6 +180,9 @@ class ResultCache:
             try:
                 self._persist_dir.mkdir(parents=True, exist_ok=True)
                 save_result(result, self._persist_dir / f"{key}.json")
+                self._index.record(key)
+                if self._max_spill_files is not None:
+                    self._index.prune(self._max_spill_files)
             except OSError as error:
                 _log.warning("cache persist failed for %s: %s", key, error)
 
@@ -157,6 +190,54 @@ class ResultCache:
         """Drop every in-memory entry (persisted files are kept)."""
         with self._lock:
             self._entries.clear()
+
+    # -- shared spill tier ---------------------------------------------------
+
+    def persisted_keys(self) -> List[str]:
+        """Keys currently journaled in the spill directory, oldest first.
+
+        Falls back to (and repairs the index from) a directory scan
+        when spill files exist that the journal does not know — a
+        pre-index directory, or one populated by an older library.
+        """
+        if self._index is None:
+            return []
+        keys = self._index.keys()
+        known = set(keys)
+        if any(path.stem not in known
+               for path in self._persist_dir.glob("*.json")):
+            keys = self._index.rebuild()
+        return keys
+
+    def warm(self, limit: Optional[int] = None) -> int:
+        """Preload the most recently written spill entries into memory.
+
+        A fresh process (a pre-fork server child, a respawned worker)
+        pointed at a shared ``persist_dir`` starts with an empty memory
+        tier; warming pulls up to ``limit`` entries (default: the
+        memory capacity) so its first requests hit RAM instead of disk.
+        Counts neither hits nor misses — it is prefetch, not lookup.
+        Returns the number of entries loaded.
+        """
+        if self._persist_dir is None:
+            return 0
+        budget = self._max_entries if limit is None else limit
+        if budget < 1:
+            return 0
+        loaded = 0
+        # Oldest-to-newest over the newest `budget` keys, so the most
+        # recent write ends up most-recent in the LRU as well.
+        for key in self.persisted_keys()[-budget:]:
+            result = self._load_persisted(key)
+            if result is None:
+                continue
+            with self._lock:
+                self._store(key, result)
+            loaded += 1
+        if loaded:
+            _log.debug("warmed %d entr%s from %s", loaded,
+                       "y" if loaded == 1 else "ies", self._persist_dir)
+        return loaded
 
     def stats(self) -> Dict[str, int]:
         """Counters snapshot: hits, misses, evictions, disk loads, size."""
@@ -193,19 +274,59 @@ class ResultCache:
             return None
         path = self._persist_dir / f"{key}.json"
         try:
-            return load_result(path)
-        except DataFormatError as error:
-            # A spill file that exists but does not decode is corrupt or
-            # truncated (interrupted write, disk fault, schema drift): it
-            # can never become readable again, so drop it — keeping it
-            # would re-pay the failed parse on every future lookup.
-            if path.exists():
-                _log.warning("dropping corrupt cache file %s: %s", path, error)
-                with self._lock:
-                    self._corrupt_dropped += 1
-                try:
-                    path.unlink()
-                except OSError as unlink_error:
-                    _log.warning("could not delete corrupt cache file %s: %s",
-                                 path, unlink_error)
+            with open(path, "rb") as handle:
+                # The identity of what we read: if the decode fails, we
+                # may only drop the file while it still *is* this file.
+                read_stat = os.fstat(handle.fileno())
+                raw = handle.read()
+        except FileNotFoundError:
+            return None  # plain miss, nothing to drop
+        except OSError as error:
+            _log.warning("cannot read cache file %s: %s", path, error)
             return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            return result_from_payload(payload, source=str(path))
+        except (UnicodeDecodeError, json.JSONDecodeError,
+                DataFormatError) as error:
+            # Spill writes are atomic (repro.io.atomic_write_text), so a
+            # file that opened but does not decode is genuinely corrupt
+            # (disk fault, schema drift) — never a torn in-progress
+            # write.  Drop it so the failed parse is paid once, not on
+            # every future lookup.
+            self._drop_corrupt(path, read_stat, error)
+            return None
+
+    def _drop_corrupt(self, path: Path, read_stat: os.stat_result,
+                      error: Exception) -> None:
+        """Delete a corrupt spill file without racing peers.
+
+        Two guards keep concurrent cache instances (other threads or
+        other processes on a shared ``persist_dir``) safe:
+
+        * the file is only unlinked while it is still the same inode we
+          read — a writer that *replaced* it since (``os.replace``
+          publishes a complete new file) keeps its fresh entry;
+        * a peer reader that dropped the same corrupt file first wins
+          the unlink; we observe ``FileNotFoundError`` and do **not**
+          count, so ``corrupt_dropped`` totals once per corrupt file
+          across all racers, not once per observer.
+        """
+        try:
+            current = os.stat(path)
+        except OSError:
+            return  # already gone — a peer dropped (and counted) it
+        if (current.st_ino, current.st_dev) != \
+                (read_stat.st_ino, read_stat.st_dev):
+            return  # replaced by a fresh write since we read; keep it
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return  # lost the unlink race to a peer reader
+        except OSError as unlink_error:
+            _log.warning("could not delete corrupt cache file %s: %s",
+                         path, unlink_error)
+            return
+        _log.warning("dropped corrupt cache file %s: %s", path, error)
+        with self._lock:
+            self._corrupt_dropped += 1

@@ -31,6 +31,7 @@ from .backends import (
     ThreadBackend,
     default_backend_name,
     get_backend,
+    get_mp_context,
     resolve_backend,
 )
 from .pool import WorkerPool, parallel_map
@@ -63,5 +64,6 @@ __all__ = [
     "ProcessBackend",
     "default_backend_name",
     "get_backend",
+    "get_mp_context",
     "resolve_backend",
 ]

@@ -79,6 +79,34 @@ START_METHOD_ENV_VAR = "REPRO_MP_START"
 DEFAULT_BACKEND = "thread"
 
 
+def get_mp_context(start_method: Optional[str] = None):
+    """Resolve the library's :mod:`multiprocessing` context.
+
+    One policy for every process-spawning path (the process backend's
+    worker pool, the pre-fork server supervisor): an explicit
+    ``start_method`` wins, then the ``REPRO_MP_START`` environment
+    variable, then ``fork`` where available (cheap on POSIX) with a
+    ``spawn`` fallback.
+
+    Raises
+    ------
+    ConfigurationError
+        When the requested start method is not available on this
+        platform.
+    """
+    import multiprocessing
+
+    method = start_method or os.environ.get(START_METHOD_ENV_VAR)
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        method = "fork" if "fork" in available else "spawn"
+    elif method not in available:
+        raise ConfigurationError(
+            f"start method {method!r} not available (have {available})"
+        )
+    return multiprocessing.get_context(method)
+
+
 class RemoteTaskError(ExecutionBackendError):
     """A task failed in a worker process with an unpicklable exception.
 
@@ -399,17 +427,7 @@ class ProcessBackend(ExecutionBackend):
         self._start_method = start_method
 
     def _context(self):
-        import multiprocessing
-
-        method = self._start_method or os.environ.get(START_METHOD_ENV_VAR)
-        available = multiprocessing.get_all_start_methods()
-        if method is None:
-            method = "fork" if "fork" in available else "spawn"
-        elif method not in available:
-            raise ConfigurationError(
-                f"start method {method!r} not available (have {available})"
-            )
-        return multiprocessing.get_context(method)
+        return get_mp_context(self._start_method)
 
     def map(self, fn, items, *, max_workers, timeout=None,
             return_exceptions=False):

@@ -1,0 +1,148 @@
+"""Torn-write regression tests for :mod:`repro.io`.
+
+``save_result`` historically wrote spill files with a bare
+``Path.write_text``, so a concurrent reader could observe a truncated
+file mid-write — and the cache's corrupt-drop path would then *delete*
+an entry a writer had just finished.  These tests hammer a single spill
+path with concurrent writer and reader threads and assert the atomic
+write contract: every read decodes (no ``DataFormatError``), every
+decoded value is one of the values actually written (no interleaving),
+and the final file is intact (no lost entries).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.io import (
+    atomic_write_text,
+    load_payload,
+    load_result,
+    save_payload,
+    save_result,
+)
+from repro.types import InferenceResult, Ranking
+
+
+def _result(order, tag):
+    return InferenceResult(ranking=Ranking(order), log_preference=-1.0,
+                           metadata={"tag": tag})
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        for index in range(5):
+            atomic_write_text(path, f"gen {index}")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("intact")
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not writable as text
+        assert path.read_text() == "intact"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestConcurrentSpillPath:
+    def test_writer_reader_hammer_no_torn_reads(self, tmp_path):
+        """One spill path, concurrent writers and readers: readers must
+        never see a truncated/interleaved file and the final entry must
+        survive (no lost writes)."""
+        path = tmp_path / "spill.json"
+        candidates = {
+            "a": _result([0, 1, 2], "a"),
+            "b": _result([2, 1, 0], "b"),
+        }
+        save_result(candidates["a"], path)
+
+        stop = threading.Event()
+        errors = []
+
+        def writer(tag):
+            while not stop.is_set():
+                try:
+                    save_result(candidates[tag], path)
+                except Exception as error:  # noqa: BLE001 — reported below
+                    errors.append(error)
+                    return
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    seen = load_result(path)
+                except DataFormatError as error:
+                    errors.append(error)
+                    return
+                tag = seen.metadata["tag"]
+                if tag not in candidates or \
+                        seen.ranking != candidates[tag].ranking:
+                    errors.append(AssertionError(f"interleaved read: {tag}"))
+                    return
+
+        threads = [threading.Thread(target=writer, args=("a",)),
+                   threading.Thread(target=writer, args=("b",))]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        # Let the hammer run long enough for many write/read overlaps.
+        threading.Event().wait(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, f"torn spill observed: {errors[:3]}"
+        final = load_result(path)  # the entry was never lost
+        assert final.metadata["tag"] in candidates
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["spill.json"]
+
+    def test_payload_writes_are_atomic_too(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        schema = "repro.test_payload/1"
+        save_payload({"schema": schema, "value": 1}, path)
+
+        stop = threading.Event()
+        errors = []
+
+        def writer(value):
+            while not stop.is_set():
+                save_payload({"schema": schema, "value": value}, path)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    payload = load_payload(path, schema)
+                except DataFormatError as error:
+                    errors.append(error)
+                    return
+                if payload["value"] not in (1, 2):
+                    errors.append(AssertionError(payload))
+                    return
+
+        threads = [threading.Thread(target=writer, args=(2,)),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert json.loads(path.read_text())["schema"] == schema
+
+    def test_save_payload_still_validates_schema(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_payload({"no": "schema"}, tmp_path / "x.json")

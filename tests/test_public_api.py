@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.service",
     "repro.streaming",
+    "repro.server",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -31,9 +32,14 @@ MODULES = SUBPACKAGES + [
     "repro.diagnostics",
     "repro.service.jobs",
     "repro.service.cache",
+    "repro.service.shared_cache",
     "repro.service.retry",
     "repro.service.metrics",
     "repro.service.executor",
+    "repro.server.app",
+    "repro.server.prefork",
+    "repro.server.prometheus",
+    "repro.client",
     "repro.session",
     "repro.topk",
     "repro.adaptive",

@@ -1,0 +1,254 @@
+"""Pre-fork serving tests: SO_REUSEPORT groups, respawn, CLI drain."""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from queue import Empty, Queue
+from threading import Thread
+
+import pytest
+
+import repro
+from repro.exceptions import ConfigurationError
+from repro.server import PreforkSupervisor, RankingServer, ServerConfig
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+needs_reuseport = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="platform lacks SO_REUSEPORT",
+)
+
+#: A small, seeded (therefore cacheable and deterministic) job.
+JOB = {
+    "job_id": "prefork-e2e",
+    "seed": 11,
+    "scenario": {"n_objects": 8, "selection_ratio": 0.5,
+                 "n_workers": 6, "workers_per_task": 5},
+}
+
+
+def _post_json(url, payload, timeout=60.0):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get_json(url, timeout=30.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestConfig:
+    def test_processes_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(processes=0)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(processes=-2)
+
+    def test_single_process_default(self):
+        assert ServerConfig().processes == 1
+        assert ServerConfig().reuse_port is False
+
+    @needs_reuseport
+    def test_multi_process_accepted_where_supported(self):
+        assert ServerConfig(processes=4).processes == 4
+
+
+@needs_reuseport
+class TestReusePortBinding:
+    def test_two_servers_share_one_port(self):
+        first = RankingServer(
+            ServerConfig(port=0, workers=1, reuse_port=True)
+        )
+        second = RankingServer(
+            ServerConfig(port=first.port, workers=1, reuse_port=True)
+        )
+        try:
+            first.start()
+            second.start()
+            assert first.port == second.port
+            status, payload = _get_json(first.url + "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+        finally:
+            second.stop()
+            first.stop()
+
+    def test_plain_servers_still_conflict(self):
+        first = RankingServer(ServerConfig(port=0, workers=1))
+        try:
+            first.start()
+            with pytest.raises(OSError):
+                RankingServer(
+                    ServerConfig(port=first.port, workers=1)
+                )
+        finally:
+            first.stop()
+
+
+@needs_reuseport
+class TestPreforkSupervisor:
+    def _config(self, tmp_path, **overrides):
+        settings = dict(port=0, workers=1, processes=2, drain_grace=5.0,
+                        cache_dir=str(tmp_path / "cache"))
+        settings.update(overrides)
+        return ServerConfig(**settings)
+
+    def test_group_serves_and_drains_clean(self, tmp_path):
+        events = []
+        supervisor = PreforkSupervisor(
+            self._config(tmp_path),
+            on_event=lambda name, info: events.append((name, info)),
+        )
+        supervisor.start()
+        try:
+            assert len(supervisor.pids) == 2
+            assert len(set(supervisor.pids)) == 2
+            status, _ = _get_json(supervisor.url + "/healthz")
+            assert status == 200
+            status, result = _post_json(supervisor.url + "/v1/rank", JOB)
+            assert status == 200
+            assert result["status"] == "succeeded"
+            assert sorted(result["ranking"]) == list(range(8))
+        finally:
+            assert supervisor.stop() is True
+        started = [info for name, info in events if name == "child_started"]
+        assert len(started) == 2
+        assert {info["index"] for info in started} == {0, 1}
+
+    def test_port_zero_resolves_once_for_the_group(self, tmp_path):
+        with PreforkSupervisor(self._config(tmp_path)) as supervisor:
+            assert supervisor.port > 0
+            assert supervisor.url.endswith(f":{supervisor.port}")
+            # Every child answers on the one shared port.
+            for _ in range(4):
+                status, _ = _get_json(supervisor.url + "/readyz")
+                assert status == 200
+
+    def test_crashed_child_is_respawned(self, tmp_path):
+        events = []
+        supervisor = PreforkSupervisor(
+            self._config(tmp_path),
+            on_event=lambda name, info: events.append(name),
+        )
+        supervisor.start()
+        try:
+            victim = supervisor.pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while supervisor.respawns == 0:
+                supervisor.poll()
+                if time.monotonic() > deadline:
+                    pytest.fail("crashed child was never respawned")
+                time.sleep(0.05)
+            assert victim not in supervisor.pids
+            assert len(supervisor.pids) == 2
+            assert "child_exit" in events
+            assert "child_respawned" in events
+            # The healed group still serves on the same port.
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    status, _ = _get_json(supervisor.url + "/healthz",
+                                          timeout=5.0)
+                    assert status == 200
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.1)
+        finally:
+            supervisor.stop()
+
+    def test_stop_is_idempotent_and_start_is_once(self, tmp_path):
+        supervisor = PreforkSupervisor(
+            self._config(tmp_path, processes=1)
+        )
+        supervisor.start()
+        with pytest.raises(ConfigurationError):
+            supervisor.start()
+        assert supervisor.stop() is True
+        assert supervisor.stop() is True
+        with pytest.raises(ConfigurationError):
+            supervisor.start()
+
+
+class TestSharedCacheAcrossServers:
+    def test_second_generation_serves_from_spill(self, tmp_path):
+        config = ServerConfig(port=0, workers=1, cache_dir=str(tmp_path))
+        with RankingServer(config) as first:
+            status, cold = _post_json(first.url + "/v1/rank", JOB)
+        assert status == 200
+        assert cold["from_cache"] is False
+
+        with RankingServer(ServerConfig(
+            port=0, workers=1, cache_dir=str(tmp_path)
+        )) as second:
+            status, warm = _post_json(second.url + "/v1/rank", JOB)
+        assert status == 200
+        assert warm["from_cache"] is True
+        assert warm["ranking"] == cold["ranking"]
+
+
+@needs_reuseport
+class TestServeProcessesCLI:
+    def _spawn(self, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--processes", "2",
+             "--drain-grace", "5", *extra_args],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def _await_url(self, process, timeout=60.0):
+        lines = Queue()
+
+        def pump():
+            for line in process.stderr:
+                lines.put(line)
+
+        Thread(target=pump, daemon=True).start()
+        deadline = time.monotonic() + timeout
+        seen = []
+        while time.monotonic() < deadline:
+            try:
+                line = lines.get(timeout=0.5)
+            except Empty:
+                if process.poll() is not None:
+                    break
+                continue
+            seen.append(line)
+            match = re.search(r"serving on (http://\S+)", line)
+            if match:
+                return match.group(1)
+        pytest.fail(f"group never announced its address; stderr: {seen!r}")
+
+    def test_sigterm_drains_the_group_and_exits_zero(self, tmp_path):
+        process = self._spawn("--cache-dir", str(tmp_path / "cache"))
+        try:
+            url = self._await_url(process)
+            status, result = _post_json(url + "/v1/rank", JOB)
+            assert status == 200
+            assert result["status"] == "succeeded"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

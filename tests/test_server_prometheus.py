@@ -69,3 +69,16 @@ class TestRender:
         registry.increment("alpha")
         text = render_prometheus(registry.snapshot())
         assert text.index("repro_alpha_total") < text.index("repro_zeta_total")
+
+    def test_special_floats_use_exposition_spelling(self):
+        """All three IEEE specials must render in the text exposition
+        format's spelling — Python's repr ("nan"/"-inf") is invalid."""
+        text = render_prometheus({}, gauges={
+            "pos": float("inf"),
+            "neg": float("-inf"),
+            "undefined": float("nan"),
+        })
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert "repro_undefined NaN" in text
+        assert "inf\n" not in text and "nan" not in text

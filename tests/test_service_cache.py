@@ -1,5 +1,8 @@
 """Unit tests for the content-addressed result cache."""
 
+import os
+import threading
+
 import pytest
 
 from repro.config import PipelineConfig, SAPSConfig
@@ -145,3 +148,157 @@ class TestCachePersistence:
         cache.put("k1", _result([0, 1]))
         cache.put("k2", _result([1, 0]))   # evicts k1 from memory
         assert cache.get("k1") is not None  # reloaded from disk
+
+
+class TestSharedPersistDir:
+    """Two cache instances over one ``persist_dir`` — the in-process
+    simulation of two server processes sharing the spill tier."""
+
+    def test_put_racing_get_converges(self, tmp_path):
+        """Satellite: ``put`` in one instance racing ``get`` in another
+        must never surface an error or a torn read, and both instances
+        must converge on a readable entry."""
+        writer_cache = ResultCache(persist_dir=tmp_path)
+        reader_cache = ResultCache(persist_dir=tmp_path)
+        result = _result([2, 0, 1])
+        errors = []
+        observed = []
+        start = threading.Barrier(2, timeout=10.0)
+
+        def writer():
+            start.wait()
+            for _ in range(150):
+                writer_cache.put("contested", result)
+
+        def reader():
+            start.wait()
+            for _ in range(150):
+                try:
+                    hit = reader_cache.get("contested")
+                except Exception as error:  # noqa: BLE001 — the assertion
+                    errors.append(error)
+                    return
+                if hit is not None:
+                    observed.append(hit.ranking)
+                    # Disk hits re-warm memory; drop so every loop
+                    # exercises the cross-instance disk path again.
+                    reader_cache.clear()
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert all(ranking == result.ranking for ranking in observed)
+        # Convergence: both instances now see the entry.
+        assert writer_cache.get("contested").ranking == result.ranking
+        assert reader_cache.get("contested").ranking == result.ranking
+        assert reader_cache.stats()["corrupt_dropped"] == 0
+        assert writer_cache.stats()["corrupt_dropped"] == 0
+
+    def test_racing_corrupt_drops_count_once(self, tmp_path):
+        """Two readers hitting the same corrupt file: exactly one drop
+        is counted across both instances, never two."""
+        for trial in range(10):
+            path = tmp_path / f"bad{trial}.json"
+            path.write_text("{definitely not json")
+            caches = [ResultCache(persist_dir=tmp_path) for _ in range(2)]
+            start = threading.Barrier(2, timeout=10.0)
+            outcomes = []
+
+            def lookup(cache, key=f"bad{trial}"):
+                start.wait()
+                outcomes.append(cache.get(key))
+
+            threads = [threading.Thread(target=lookup, args=(cache,))
+                       for cache in caches]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert outcomes == [None, None]
+            assert not path.exists()
+            dropped = sum(c.stats()["corrupt_dropped"] for c in caches)
+            assert dropped == 1, f"trial {trial}: counted {dropped} drops"
+
+    def test_drop_never_unlinks_a_fresh_replacement(self, tmp_path):
+        """If a writer republishes the entry between a reader's failed
+        decode and its unlink, the fresh (good) file must survive."""
+        cache = ResultCache(persist_dir=tmp_path)
+        path = tmp_path / "contended.json"
+        path.write_text("{torn gibberish")
+        stale_stat = os.stat(path)  # what the failing reader read
+        # A peer writer atomically replaces the entry with a good one
+        # (new inode, by construction of the atomic write).
+        cache.put("contended", _result([1, 0]))
+        assert os.stat(path).st_ino != stale_stat.st_ino
+        cache._drop_corrupt(path, stale_stat, ValueError("stale decode"))
+        assert path.exists()
+        assert cache.stats()["corrupt_dropped"] == 0
+        assert ResultCache(persist_dir=tmp_path).get("contended") is not None
+
+    def test_persisted_keys_tracks_puts_in_order(self, tmp_path):
+        cache = ResultCache(persist_dir=tmp_path)
+        cache.put("k1", _result([0, 1]))
+        cache.put("k2", _result([1, 0]))
+        cache.put("k1", _result([0, 1]))
+        assert cache.persisted_keys() == ["k2", "k1"]
+        # Another instance sees the same journal.
+        assert ResultCache(persist_dir=tmp_path).persisted_keys() == \
+            ["k2", "k1"]
+
+    def test_persisted_keys_repairs_index_from_directory(self, tmp_path):
+        from repro.io import save_result
+
+        save_result(_result([0, 1]), tmp_path / "legacy.json")
+        cache = ResultCache(persist_dir=tmp_path)
+        assert cache.persisted_keys() == ["legacy"]
+        assert cache.get("legacy") is not None
+
+    def test_warm_preloads_without_counting_lookups(self, tmp_path):
+        first = ResultCache(persist_dir=tmp_path)
+        for index in range(3):
+            first.put(f"k{index}", _result([0, 1]))
+        second = ResultCache(persist_dir=tmp_path)
+        assert second.warm() == 3
+        assert len(second) == 3
+        stats = second.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["disk_loads"] == 0
+        # Warmed entries now hit the memory tier, not the disk.
+        assert second.get("k2") is not None
+        assert second.stats()["disk_loads"] == 0
+
+    def test_warm_respects_limit_newest_first(self, tmp_path):
+        first = ResultCache(persist_dir=tmp_path)
+        for index in range(4):
+            first.put(f"k{index}", _result([0, 1]))
+        second = ResultCache(persist_dir=tmp_path)
+        assert second.warm(limit=2) == 2
+        assert len(second) == 2
+        assert second.get("k3") is not None  # newest survived the cut
+        assert second.stats()["disk_loads"] == 0
+
+    def test_warm_without_persist_dir_is_a_noop(self):
+        assert ResultCache().warm() == 0
+
+    def test_max_spill_files_prunes_oldest(self, tmp_path):
+        cache = ResultCache(persist_dir=tmp_path, max_spill_files=2)
+        for index in range(3):
+            cache.put(f"k{index}", _result([0, 1]))
+        assert cache.persisted_keys() == ["k1", "k2"]
+        assert not (tmp_path / "k0.json").exists()
+        # The pruned entry is a clean miss for a fresh instance.
+        fresh = ResultCache(persist_dir=tmp_path)
+        assert fresh.get("k0") is None
+        assert fresh.stats()["corrupt_dropped"] == 0
+
+    def test_max_spill_files_validation(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ResultCache(persist_dir=tmp_path, max_spill_files=0)
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_spill_files=4)

@@ -1,0 +1,158 @@
+"""Tests for the cross-process spill tier (FileLock + SpillIndex)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import FileLock, SpillIndex
+from repro.service.shared_cache import INDEX_FILENAME, LOCK_FILENAME
+
+
+class TestFileLock:
+    def test_exclusive_excludes_other_holders(self, tmp_path):
+        """Two FileLock instances over one path exclude each other —
+        flock ties locks to the open file description, so this covers
+        the cross-process semantics from within one process."""
+        lock_a = FileLock(tmp_path / LOCK_FILENAME)
+        lock_b = FileLock(tmp_path / LOCK_FILENAME)
+        held = threading.Event()
+        release = threading.Event()
+        b_acquired_at = []
+
+        def holder():
+            with lock_a.exclusive():
+                held.set()
+                release.wait(timeout=10.0)
+
+        def contender():
+            held.wait(timeout=10.0)
+            with lock_b.exclusive():
+                b_acquired_at.append(time.monotonic())
+
+        thread_a = threading.Thread(target=holder)
+        thread_b = threading.Thread(target=contender)
+        thread_a.start()
+        thread_b.start()
+        held.wait(timeout=10.0)
+        time.sleep(0.2)
+        assert not b_acquired_at, "contender acquired while lock was held"
+        released_at = time.monotonic()
+        release.set()
+        thread_a.join(timeout=10.0)
+        thread_b.join(timeout=10.0)
+        assert b_acquired_at and b_acquired_at[0] >= released_at - 0.05
+
+    def test_shared_holders_coexist(self, tmp_path):
+        lock = FileLock(tmp_path / LOCK_FILENAME)
+        inside = threading.Barrier(2, timeout=10.0)
+
+        def reader():
+            with lock.shared():
+                inside.wait()  # both inside simultaneously, or timeout
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+
+    def test_creates_parent_directory(self, tmp_path):
+        lock = FileLock(tmp_path / "deep" / "dir" / LOCK_FILENAME)
+        with lock.exclusive():
+            pass
+        assert (tmp_path / "deep" / "dir" / LOCK_FILENAME).exists()
+
+
+class TestSpillIndex:
+    def test_record_and_keys_order(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        for key in ("aa", "bb", "cc"):
+            index.record(key)
+        assert index.keys() == ["aa", "bb", "cc"]
+
+    def test_rewrite_moves_key_to_newest(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        for key in ("aa", "bb", "aa"):
+            index.record(key)
+        assert index.keys() == ["bb", "aa"]
+        assert "aa" in index and "zz" not in index
+        assert len(index) == 2
+
+    def test_empty_directory(self, tmp_path):
+        assert SpillIndex(tmp_path).keys() == []
+
+    def test_rejects_malformed_keys(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        for bad in ("", "a\nb", "un/seeded"):
+            with pytest.raises(ConfigurationError):
+                index.record(bad)
+
+    def test_concurrent_records_all_land(self, tmp_path):
+        """Four writers (separate index instances, as separate processes
+        would hold) journal disjoint key sets; nothing is lost or torn."""
+        def writer(tag):
+            index = SpillIndex(tmp_path)
+            for i in range(50):
+                index.record(f"{tag}{i:03d}")
+
+        threads = [threading.Thread(target=writer, args=(tag,))
+                   for tag in "abcd"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        keys = SpillIndex(tmp_path).keys()
+        assert len(keys) == 200
+        assert set(keys) == {f"{tag}{i:03d}" for tag in "abcd"
+                             for i in range(50)}
+
+    def test_prune_removes_oldest_files(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        for key in ("aa", "bb", "cc"):
+            (tmp_path / f"{key}.json").write_text("{}")
+            index.record(key)
+        removed = index.prune(2)
+        assert removed == ["aa"]
+        assert not (tmp_path / "aa.json").exists()
+        assert (tmp_path / "bb.json").exists()
+        assert (tmp_path / "cc.json").exists()
+        assert index.keys() == ["bb", "cc"]
+
+    def test_prune_drops_keys_with_missing_files(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        index.record("ghost")
+        (tmp_path / "real.json").write_text("{}")
+        index.record("real")
+        assert index.prune(5) == []
+        assert index.keys() == ["real"]
+
+    def test_prune_validates_bound(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SpillIndex(tmp_path).prune(0)
+
+    def test_rebuild_from_directory_scan(self, tmp_path):
+        (tmp_path / "k1.json").write_text("{}")
+        time.sleep(0.02)  # distinct mtimes => deterministic order
+        (tmp_path / "k2.json").write_text("{}")
+        index = SpillIndex(tmp_path)
+        assert index.keys() == []
+        assert index.rebuild() == ["k1", "k2"]
+        assert index.keys() == ["k1", "k2"]
+
+    def test_journal_compacts_under_rewrites(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        for _ in range(300):
+            index.record("same-key")
+        lines = (tmp_path / INDEX_FILENAME).read_text().splitlines()
+        assert len(lines) < 300
+        assert index.keys() == ["same-key"]
+
+    def test_index_files_invisible_to_spill_namespace(self, tmp_path):
+        index = SpillIndex(tmp_path)
+        index.record("aa")
+        with index.lock.exclusive():
+            pass
+        assert not list(tmp_path.glob("*.json"))
