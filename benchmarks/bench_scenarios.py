@@ -1,0 +1,342 @@
+"""Benchmark: the adversarial scenario × engine robustness matrix.
+
+Sweeps every :mod:`repro.datasets.adversarial` scenario family
+(spammers, colluding cliques, quality drift, correlated errors,
+heavy-tailed difficulty, starved/saturated budget regimes) against a
+grid of ranking engines via :func:`repro.experiments.run_matrix` and
+writes the surface to ``BENCH_scenarios.json`` at the repo root, one
+cell per ``(family, engine)`` with mean/min/max accuracy, Kendall-tau,
+votes spent, and vote efficiency over the seed set.
+
+The acceptance bars, checked on every full run and re-validated
+against the committed JSON in ``--smoke`` mode:
+
+1. **Robustness floors** — the CRH+SAPS pipeline's mean accuracy must
+   stay at or above an explicit per-family floor (``FLOORS``).  A
+   future perf or inference PR that silently trades away robustness
+   under any adversary moves that cell below its floor and fails CI.
+2. **Adversary separation** — under the ``spammer``, ``clique``, and
+   ``inverted_clique`` crowds the weighted pipeline must beat the
+   unweighted baselines (``borda``, ``copeland``, ``rc``) at matched
+   budgets; if collusion no longer hurts the unweighted engines more
+   than the worker-weighted one, the truth-discovery reweighting is
+   broken.
+3. **Coverage** — the committed matrix must span at least
+   ``MIN_FAMILIES`` scenario families × ``MIN_ENGINES`` engines with a
+   recorded accuracy in every cell.
+
+``--smoke`` runs seeded determinism/shape contract checks on the
+scenario generators, re-runs a miniature live matrix against fixed
+smoke gates (the values are deterministic — no timing thresholds, CI
+boxes are noisy), then validates the *committed* ``BENCH_scenarios.json``
+and exits non-zero on any violation.  Nothing is written in smoke mode.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [--families ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.adversarial import FAMILIES, make_adversarial_scenario
+from repro.experiments.matrix import MatrixCell, run_cell, run_matrix
+from repro.experiments.runner import collect_votes
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The committed grid: the pipeline, three unweighted baselines, and
+#: two acquisition arms (value-of-information vs. random control).
+BENCH_ENGINES = ("crh_saps", "borda", "copeland", "rc", "bdp", "random")
+
+#: Per-family robustness floors on the CRH+SAPS mean accuracy,
+#: ~0.05 under the committed values (seeds 1-5, n=40, r=0.3, w=3).
+#: Ratchet them up as the pipeline improves; never lower to merge.
+FLOORS: Dict[str, float] = {
+    "honest": 0.84,
+    "spammer": 0.83,
+    "clique": 0.82,
+    "inverted_clique": 0.84,
+    "drift": 0.84,
+    "drift_recover": 0.78,
+    "correlated": 0.72,
+    "heavy_tail": 0.79,
+    "starved": 0.52,
+    "saturated": 0.93,
+}
+
+#: Families where collusion/spam must hurt unweighted engines more
+#: than the worker-weighted pipeline (bar 2).
+SEPARATION_FAMILIES = ("spammer", "clique", "inverted_clique")
+UNWEIGHTED = ("borda", "copeland", "rc")
+
+#: Minimum committed coverage (bar 3).
+MIN_FAMILIES = 6
+MIN_ENGINES = 3
+
+#: Smoke gates for the miniature live matrix (n=24, r=0.4, 16 workers,
+#: seeds 1-3) — deterministic under the seeded RNG discipline.
+SMOKE_FAMILIES = ("spammer", "clique")
+SMOKE_ENGINES = ("crh_saps", "borda", "copeland")
+SMOKE_FLOOR = 0.82          # crh_saps mean accuracy, both families
+SMOKE_BDP_FLOOR = 0.75      # one tiny adaptive spammer run
+
+
+def _index(cells: Sequence[Dict[str, object]]
+           ) -> Dict[Tuple[str, str], Dict[str, object]]:
+    return {(str(c["family"]), str(c["engine"])): c for c in cells}
+
+
+def check_acceptance(cells: Sequence[Dict[str, object]],
+                     floors: Dict[str, float]) -> List[str]:
+    """Bars 1-3 over a list of cell payloads/rows."""
+    failures: List[str] = []
+    by_key = _index(cells)
+    families = {str(c["family"]) for c in cells}
+    engines = {str(c["engine"]) for c in cells}
+    if len(families) < MIN_FAMILIES or len(engines) < MIN_ENGINES:
+        failures.append(
+            f"coverage {len(families)} families x {len(engines)} engines "
+            f"below the {MIN_FAMILIES}x{MIN_ENGINES} minimum"
+        )
+    for cell in cells:
+        if not isinstance(cell.get("accuracy"), (int, float)):
+            failures.append(
+                f"{cell.get('family')}/{cell.get('engine')}: no recorded "
+                "accuracy"
+            )
+    for family, floor in floors.items():
+        cell = by_key.get((family, "crh_saps"))
+        if cell is None:
+            failures.append(f"{family}: crh_saps cell missing")
+            continue
+        if float(cell["accuracy"]) < floor:
+            failures.append(
+                f"{family}: crh_saps accuracy {cell['accuracy']} below "
+                f"the {floor} robustness floor"
+            )
+    for family in SEPARATION_FAMILIES:
+        pipeline = by_key.get((family, "crh_saps"))
+        if pipeline is None or family not in families:
+            continue
+        for baseline in UNWEIGHTED:
+            rival = by_key.get((family, baseline))
+            if rival is None:
+                continue
+            if float(pipeline["accuracy"]) <= float(rival["accuracy"]):
+                failures.append(
+                    f"{family}: crh_saps accuracy {pipeline['accuracy']} "
+                    f"does not beat unweighted {baseline} "
+                    f"{rival['accuracy']} at matched budget"
+                )
+    return failures
+
+
+def check_contracts() -> List[str]:
+    """Seeded determinism + shape contracts on the scenario generators."""
+    failures: List[str] = []
+    for family in FAMILIES:
+        first = make_adversarial_scenario(family, 12, 0.5, n_workers=8,
+                                          workers_per_task=3, rng=11)
+        second = make_adversarial_scenario(family, 12, 0.5, n_workers=8,
+                                           workers_per_task=3, rng=11)
+        if first.ground_truth.order != second.ground_truth.order:
+            failures.append(f"{family}: ground truth is not seed-stable")
+        sigmas = [(type(w).__name__, round(w.sigma, 12))
+                  for w in first.pool]
+        sigmas2 = [(type(w).__name__, round(w.sigma, 12))
+                   for w in second.pool]
+        if sigmas != sigmas2:
+            failures.append(f"{family}: worker pool is not seed-stable")
+        votes_a = collect_votes(first, rng=5)
+        votes_b = collect_votes(second, rng=5)
+        rows_a = [(v.worker, v.winner, v.loser) for v in votes_a.votes]
+        rows_b = [(v.worker, v.winner, v.loser) for v in votes_b.votes]
+        if rows_a != rows_b:
+            failures.append(
+                f"{family}: collect_votes is not a pure function of "
+                "(scenario, seed)"
+            )
+        if not rows_a:
+            failures.append(f"{family}: produced an empty vote set")
+    return failures
+
+
+def run_bench(families: Sequence[str], engines: Sequence[str],
+              n_objects: int, selection_ratio: float, n_workers: int,
+              workers_per_task: int, seeds: Sequence[int],
+              rounds: int) -> List[MatrixCell]:
+    cells = run_matrix(
+        families, engines, n_objects=n_objects,
+        selection_ratio=selection_ratio, n_workers=n_workers,
+        workers_per_task=workers_per_task, seeds=tuple(seeds),
+        rounds=rounds,
+    )
+    for cell in cells:
+        row = cell.as_row()
+        print(f"{row['family']:16s} {row['engine']:9s} "
+              f"accuracy={row['accuracy']:.4f} min={row['acc_min']:.4f} "
+              f"votes={row['votes']:.0f} "
+              f"acc_per_kvote={row['acc_per_kvote']:.3f}")
+    return cells
+
+
+def run_smoke() -> List[str]:
+    """Miniature live matrix against the fixed smoke gates."""
+    failures: List[str] = []
+    cells = run_matrix(
+        SMOKE_FAMILIES, SMOKE_ENGINES, n_objects=24, selection_ratio=0.4,
+        n_workers=16, workers_per_task=3, seeds=(1, 2, 3),
+    )
+    rows = [c.as_row() for c in cells]
+    by_key = _index(rows)
+    for family in SMOKE_FAMILIES:
+        pipeline = by_key[(family, "crh_saps")]
+        if float(pipeline["accuracy"]) < SMOKE_FLOOR:
+            failures.append(
+                f"smoke {family}: crh_saps accuracy {pipeline['accuracy']} "
+                f"below the {SMOKE_FLOOR} smoke floor"
+            )
+        for baseline in ("borda", "copeland"):
+            rival = by_key[(family, baseline)]
+            if float(pipeline["accuracy"]) <= float(rival["accuracy"]):
+                failures.append(
+                    f"smoke {family}: crh_saps {pipeline['accuracy']} does "
+                    f"not beat {baseline} {rival['accuracy']}"
+                )
+    adaptive = run_cell("spammer", "bdp", n_objects=16, selection_ratio=0.4,
+                        n_workers=8, workers_per_task=3, seeds=(1, 2),
+                        rounds=2)
+    if not 0.0 <= adaptive.accuracy_mean <= 1.0:
+        failures.append(
+            f"smoke spammer/bdp: accuracy {adaptive.accuracy_mean} out of "
+            "range"
+        )
+    elif adaptive.accuracy_mean < SMOKE_BDP_FLOOR:
+        failures.append(
+            f"smoke spammer/bdp: accuracy {adaptive.accuracy_mean} below "
+            f"the {SMOKE_BDP_FLOOR} smoke floor"
+        )
+    if adaptive.votes_mean <= 0:
+        failures.append("smoke spammer/bdp: no votes were purchased")
+    return failures
+
+
+def validate_committed(path: Path) -> List[str]:
+    """Smoke mode: the committed surface must still clear every bar."""
+    if not path.exists():
+        return [f"{path.name} is missing; run the full benchmark to "
+                "regenerate it"]
+    payload = json.loads(path.read_text())
+    cells = payload.get("results", {}).get("matrix", [])
+    floors = payload.get("workload", {}).get("floors", {})
+    if not cells:
+        return [f"{path.name} holds no matrix cells"]
+    if not floors:
+        return [f"{path.name} records no robustness floors"]
+    for family, floor in FLOORS.items():
+        committed = floors.get(family)
+        if committed is None or float(committed) < floor:
+            return [f"{path.name}: committed floor for {family!r} is "
+                    f"{committed}, below the in-repo {floor} (floors are "
+                    "a ratchet; regenerate after raising FLOORS)"]
+    return [f"{path.name}: {failure}"
+            for failure in check_acceptance(cells, FLOORS)]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--families", nargs="+", default=list(FAMILIES),
+                        choices=list(FAMILIES), metavar="FAMILY",
+                        help="scenario families (default: all)")
+    parser.add_argument("--engines", nargs="+",
+                        default=list(BENCH_ENGINES), metavar="ENGINE",
+                        help=f"engines (default: {' '.join(BENCH_ENGINES)})")
+    parser.add_argument("--n", type=int, default=40,
+                        help="objects to rank (default 40)")
+    parser.add_argument("--ratio", type=float, default=0.3,
+                        help="pair selection ratio (default 0.3)")
+    parser.add_argument("--workers", type=int, default=20,
+                        help="simulated crowd size (default 20)")
+    parser.add_argument("--workers-per-task", type=int, default=3,
+                        help="votes per assigned pair (default 3)")
+    parser.add_argument("--seeds", type=int, nargs="+",
+                        default=[1, 2, 3, 4, 5],
+                        help="seeds per cell (default 1..5)")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="adaptive rounds for acquisition engines "
+                             "(default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI mode: generator contracts plus a "
+                             "miniature matrix against fixed gates, then "
+                             "validates the committed JSON; writes nothing")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_scenarios.json"),
+                        help="output path "
+                             "(default <repo>/BENCH_scenarios.json)")
+    args = parser.parse_args()
+
+    failures = check_contracts()
+
+    if args.smoke:
+        failures.extend(run_smoke())
+        failures.extend(validate_committed(Path(args.out)))
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("smoke ok: generator contracts hold, the miniature matrix "
+              f"clears its gates, and the committed {Path(args.out).name} "
+              "clears every robustness bar")
+        return 0
+
+    cells = run_bench(args.families, args.engines, args.n, args.ratio,
+                      args.workers, args.workers_per_task, args.seeds,
+                      args.rounds)
+    rows = [c.as_payload() for c in cells]
+    failures.extend(check_acceptance(
+        rows, {f: FLOORS[f] for f in args.families if f in FLOORS}
+    ))
+
+    payload = {
+        "generated_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "smoke": False,
+        "workload": {
+            "families": list(args.families),
+            "engines": list(args.engines),
+            "n": args.n,
+            "selection_ratio": args.ratio,
+            "n_workers": args.workers,
+            "workers_per_task": args.workers_per_task,
+            "seeds": list(args.seeds),
+            "rounds": args.rounds,
+            "floors": {f: FLOORS[f] for f in args.families if f in FLOORS},
+            "separation_families": list(SEPARATION_FAMILIES),
+            "unweighted_baselines": list(UNWEIGHTED),
+        },
+        "results": {
+            "matrix": rows,
+        },
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,11 @@ The commands cover the library's main entry points:
     re-inferring after every chunk and early-stopping once the ranking
     stabilises.
 
+``matrix``
+    Sweep the adversarial scenario × engine robustness matrix
+    (:mod:`repro.experiments.matrix`) and print per-cell accuracy,
+    Kendall-tau and vote-efficiency.
+
 ``reproduce``
     Regenerate a paper artifact's data series.
 
@@ -262,6 +267,37 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+
+    matrix = commands.add_parser(
+        "matrix", parents=[verbose_parent],
+        help="sweep the adversarial scenario × engine robustness matrix",
+    )
+    matrix.add_argument("--families", nargs="+", default=None,
+                        metavar="FAMILY",
+                        help="scenario families to run (default: all; "
+                             "see repro.datasets.adversarial)")
+    matrix.add_argument("--engines", nargs="+", default=None,
+                        metavar="ENGINE",
+                        help="engines to run (default: crh_saps borda "
+                             "copeland bdp)")
+    matrix.add_argument("--n-objects", type=int, default=40,
+                        help="object-universe size (default 40)")
+    matrix.add_argument("--ratio", type=float, default=0.3,
+                        help="nominal selection ratio r (default 0.3; "
+                             "budget-regime families override it)")
+    matrix.add_argument("--workers", type=int, default=20,
+                        help="simulated crowd size (default 20)")
+    matrix.add_argument("--workers-per-task", type=int, default=3,
+                        help="votes per comparison w (default 3)")
+    matrix.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
+                        help="seeds aggregated per cell (default 1 2 3)")
+    matrix.add_argument("--rounds", type=int, default=4,
+                        help="adaptive rounds for acquisition engines "
+                             "(default 4)")
+    matrix.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON cells")
+    matrix.add_argument("--out", metavar="CSV", default=None,
+                        help="write the cells to a CSV file")
 
     reproduce = commands.add_parser(
         "reproduce", parents=[verbose_parent],
@@ -747,6 +783,37 @@ def _stream_remote(args: argparse.Namespace, chunks: list):
     return view, replayed
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .experiments import export_records_csv, format_records
+    from .experiments.matrix import run_matrix
+
+    cells = run_matrix(
+        families=args.families,
+        engines=args.engines,
+        n_objects=args.n_objects,
+        selection_ratio=args.ratio,
+        n_workers=args.workers,
+        workers_per_task=args.workers_per_task,
+        seeds=args.seeds,
+        rounds=args.rounds,
+    )
+    if args.json:
+        print(json.dumps([cell.as_payload() for cell in cells], indent=2))
+    else:
+        print(format_records(
+            cells,
+            columns=["family", "engine", "n", "r", "w", "accuracy",
+                     "acc_min", "kendall_tau", "votes", "acc_per_kvote",
+                     "seconds"],
+            title=(f"Adversarial workload matrix "
+                   f"(n={args.n_objects}, seeds={args.seeds})"),
+        ))
+    if args.out:
+        export_records_csv(cells, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments import (
         export_records_csv,
@@ -818,6 +885,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "stream": _cmd_stream,
+        "matrix": _cmd_matrix,
         "reproduce": _cmd_reproduce,
     }
     try:

@@ -6,16 +6,30 @@
   PubFig "how much did the celebrity smile" study: latent attribute
   scores with near-tie selection, so the crowd genuinely conflicts;
 * :mod:`~repro.datasets.amt` — CSV round-trip in an AMT-results-like
-  format, so real crowd exports can be fed to the pipeline.
+  format, so real crowd exports can be fed to the pipeline;
+* :mod:`~repro.datasets.adversarial` — seeded scenario families for
+  structured crowd misbehaviour (spammers, colluding cliques, quality
+  drift, correlated errors, heavy-tailed difficulty, budget regimes)
+  feeding the robustness matrix.
 """
 
 from .synthetic import SimulationScenario, make_scenario
+from .adversarial import (
+    FAMILIES,
+    hostile_votes,
+    list_families,
+    make_adversarial_scenario,
+)
 from .images import ImageRankingStudy, make_image_study
 from .amt import load_votes_csv, save_votes_csv
 
 __all__ = [
     "SimulationScenario",
     "make_scenario",
+    "FAMILIES",
+    "hostile_votes",
+    "list_families",
+    "make_adversarial_scenario",
     "ImageRankingStudy",
     "make_image_study",
     "load_votes_csv",

@@ -1,0 +1,345 @@
+"""Adversarial and heterogeneous simulation scenarios.
+
+The paper's guarantees assume workers with stationary, independent
+error rates.  Real crowds contain spammers, colluding cliques, drifting
+quality, correlated mistakes and heavy-tailed item difficulty — the
+worker-incentive failure modes contract-design work models explicitly.
+This module composes the structured behaviour models of
+:mod:`repro.workers.behaviors` into complete, seeded
+:class:`~repro.datasets.synthetic.SimulationScenario` pools, one
+*family* per failure mode, so the whole serving stack can be exercised
+under hostile votes:
+
+=================  ========================================================
+family             crowd composition
+=================  ========================================================
+``honest``         the paper's Gaussian-medium baseline crowd
+``spammer``        ``spammer_fraction`` of the pool answers coin-flips
+``clique``         ``clique_fraction`` colludes on a shared *random*
+                   wrong order (always-agree collusion)
+``inverted_clique``the clique's story is the exact reverse of the truth
+                   (always-invert collusion)
+``drift``          ``drift_fraction`` degrades good→bad over its vote
+                   sequence (burnout)
+``drift_recover``  the drifters instead improve bad→good (learning)
+``correlated``     the whole crowd shares a pair-keyed error coin at
+                   rate ``correlation`` (correlated mistakes)
+``heavy_tail``     honest crowd, but per-object difficulty is drawn
+                   from a heavy-tailed (Pareto) field shared by all
+``starved``        honest crowd on the minimum connected budget
+                   (spanning comparisons, one vote each)
+``saturated``      honest crowd with every pair compared and extra
+                   redundancy per pair
+=================  ========================================================
+
+Every family is reproducible end-to-end through :mod:`repro.rng`: the
+scenario is a pure function of ``(family, knobs, seed)``, and the vote
+realisation drawn from it is a pure function of the scenario plus the
+``collect_votes`` seed (per-worker child streams).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import SeedLike, derive_seed, ensure_rng, spawn_rngs
+from ..types import Ranking
+from ..workers import (
+    CliqueWorker,
+    CorrelatedWorker,
+    DifficultyWorker,
+    DriftingWorker,
+    QualityLevel,
+    SimulatedWorker,
+    SpammerWorker,
+    WorkerPool,
+    gaussian_preset,
+)
+from .synthetic import SimulationScenario
+
+#: Honest workers draw their sigma from this paper preset everywhere.
+_HONEST_QUALITY = gaussian_preset(QualityLevel.MEDIUM)
+
+
+def _honest_sigmas(n: int, rng: np.random.Generator) -> np.ndarray:
+    return _HONEST_QUALITY.sample_sigmas(n, rng)
+
+
+def _adversary_ids(n_workers: int, fraction: float,
+                   rng: np.random.Generator) -> set:
+    """A seeded, spread-out subset of worker ids to corrupt."""
+    count = max(1, int(round(fraction * n_workers)))
+    if count >= n_workers:
+        count = n_workers - 1  # never corrupt the whole crowd
+    chosen = rng.choice(n_workers, size=count, replace=False)
+    return {int(k) for k in chosen}
+
+
+def _build_scenario(
+    ground_truth: Ranking,
+    workers: List[SimulatedWorker],
+    selection_ratio: float,
+    workers_per_task: int,
+    quality_name: str,
+) -> SimulationScenario:
+    return SimulationScenario(
+        ground_truth=ground_truth,
+        pool=WorkerPool(workers),
+        selection_ratio=selection_ratio,
+        workers_per_task=workers_per_task,
+        quality_name=quality_name,
+    )
+
+
+# -- family builders ---------------------------------------------------------
+# Each takes (truth, n_workers, streams, rng, params) and returns the
+# worker list plus a human-readable crowd description.  ``rng`` is for
+# composition draws (which ids are corrupted, clique stories,
+# difficulty fields); per-worker vote noise uses ``streams``.
+
+def _family_honest(truth, n_workers, streams, rng, params):
+    sigmas = _honest_sigmas(n_workers, rng)
+    workers = [SimulatedWorker(worker_id=k, sigma=float(sigmas[k]),
+                               rng=streams[k])
+               for k in range(n_workers)]
+    return workers, "honest Gaussian-medium crowd"
+
+
+def _family_spammer(truth, n_workers, streams, rng, params):
+    fraction = float(params.get("spammer_fraction", 0.4))
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(
+            f"spammer_fraction must be in (0, 1), got {fraction}"
+        )
+    spam_ids = _adversary_ids(n_workers, fraction, rng)
+    sigmas = _honest_sigmas(n_workers, rng)
+    workers: List[SimulatedWorker] = []
+    for k in range(n_workers):
+        if k in spam_ids:
+            workers.append(SpammerWorker(worker_id=k, rng=streams[k]))
+        else:
+            workers.append(SimulatedWorker(worker_id=k,
+                                           sigma=float(sigmas[k]),
+                                           rng=streams[k]))
+    return workers, f"{len(spam_ids)}/{n_workers} uniform spammers"
+
+
+def _clique_workers(truth, n_workers, streams, rng, params, story,
+                    label):
+    fraction = float(params.get("clique_fraction", 0.3))
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(
+            f"clique_fraction must be in (0, 1), got {fraction}"
+        )
+    defect_rate = float(params.get("defect_rate", 0.0))
+    clique_ids = _adversary_ids(n_workers, fraction, rng)
+    sigmas = _honest_sigmas(n_workers, rng)
+    workers: List[SimulatedWorker] = []
+    for k in range(n_workers):
+        if k in clique_ids:
+            workers.append(CliqueWorker(worker_id=k, story=story,
+                                        defect_rate=defect_rate,
+                                        rng=streams[k]))
+        else:
+            workers.append(SimulatedWorker(worker_id=k,
+                                           sigma=float(sigmas[k]),
+                                           rng=streams[k]))
+    return workers, f"{len(clique_ids)}/{n_workers} {label}"
+
+
+def _family_clique(truth, n_workers, streams, rng, params):
+    story = Ranking.random(len(truth), rng)
+    return _clique_workers(truth, n_workers, streams, rng, params,
+                           story, "always-agree clique (random story)")
+
+
+def _family_inverted_clique(truth, n_workers, streams, rng, params):
+    story = Ranking(list(reversed(truth.order)))
+    return _clique_workers(truth, n_workers, streams, rng, params,
+                           story, "always-invert clique")
+
+
+def _drift_workers(truth, n_workers, streams, rng, params, start, end,
+                   label):
+    fraction = float(params.get("drift_fraction", 0.6))
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"drift_fraction must be in (0, 1], got {fraction}"
+        )
+    horizon = int(params.get("horizon", 120))
+    count = max(1, int(round(fraction * n_workers)))
+    drift_ids = {int(k) for k in rng.choice(n_workers, size=min(
+        count, n_workers), replace=False)}
+    sigmas = _honest_sigmas(n_workers, rng)
+    workers: List[SimulatedWorker] = []
+    for k in range(n_workers):
+        if k in drift_ids:
+            workers.append(DriftingWorker(worker_id=k, sigma=start,
+                                          sigma_end=end, horizon=horizon,
+                                          rng=streams[k]))
+        else:
+            workers.append(SimulatedWorker(worker_id=k,
+                                           sigma=float(sigmas[k]),
+                                           rng=streams[k]))
+    return workers, f"{len(drift_ids)}/{n_workers} {label}"
+
+
+def _family_drift(truth, n_workers, streams, rng, params):
+    return _drift_workers(truth, n_workers, streams, rng, params,
+                          start=0.05, end=0.9,
+                          label="drifting good→bad")
+
+
+def _family_drift_recover(truth, n_workers, streams, rng, params):
+    return _drift_workers(truth, n_workers, streams, rng, params,
+                          start=0.9, end=0.05,
+                          label="drifting bad→good")
+
+
+def _family_correlated(truth, n_workers, streams, rng, params):
+    correlation = float(params.get("correlation", 0.6))
+    shared_error = float(params.get("shared_error", 0.35))
+    shared_seed = derive_seed(rng)
+    sigmas = _honest_sigmas(n_workers, rng)
+    workers = [
+        CorrelatedWorker(worker_id=k, sigma=float(sigmas[k]),
+                         shared_seed=shared_seed, correlation=correlation,
+                         shared_error=shared_error, rng=streams[k])
+        for k in range(n_workers)
+    ]
+    return workers, (f"pairwise-correlated errors "
+                     f"(rho={correlation}, shared_eps={shared_error})")
+
+
+def _family_heavy_tail(truth, n_workers, streams, rng, params):
+    tail_index = float(params.get("tail_index", 1.5))
+    base_sigma = float(params.get("base_sigma", 0.08))
+    if tail_index <= 0:
+        raise ConfigurationError(
+            f"tail_index must be positive, got {tail_index}"
+        )
+    # Pareto/Lomax + 1: minimum difficulty 1, heavy right tail — a few
+    # objects are near-impossible to compare for *everyone*.
+    difficulty = 1.0 + rng.pareto(tail_index, size=len(truth))
+    workers = [
+        DifficultyWorker(worker_id=k, sigma=base_sigma,
+                         difficulty=difficulty, rng=streams[k])
+        for k in range(n_workers)
+    ]
+    return workers, (f"heavy-tailed item difficulty "
+                     f"(Pareto a={tail_index}, max d="
+                     f"{float(difficulty.max()):.1f})")
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "honest": _family_honest,
+    "spammer": _family_spammer,
+    "clique": _family_clique,
+    "inverted_clique": _family_inverted_clique,
+    "drift": _family_drift,
+    "drift_recover": _family_drift_recover,
+    "correlated": _family_correlated,
+    "heavy_tail": _family_heavy_tail,
+    # Budget regimes reuse the honest crowd; the regime is in the plan.
+    "starved": _family_honest,
+    "saturated": _family_honest,
+}
+
+#: Families in canonical sweep order (the matrix and the CLI use this).
+FAMILIES: List[str] = list(_BUILDERS)
+
+
+def list_families() -> List[str]:
+    """The canonical scenario-family names, in sweep order."""
+    return list(FAMILIES)
+
+
+def make_adversarial_scenario(
+    family: str,
+    n_objects: int,
+    selection_ratio: float,
+    *,
+    n_workers: int = 50,
+    workers_per_task: int = 5,
+    rng: SeedLike = None,
+    **params,
+) -> SimulationScenario:
+    """Build one seeded scenario of the named adversarial family.
+
+    ``selection_ratio`` / ``workers_per_task`` are the *nominal* budget
+    knobs; the ``starved`` and ``saturated`` families override them to
+    their respective regimes (minimum connected plan with single votes
+    vs. full coverage with extra redundancy) so the sweep covers the
+    budget axis too.  Additional keyword ``params`` feed the family
+    builder (e.g. ``spammer_fraction``, ``clique_fraction``,
+    ``horizon``, ``correlation``, ``tail_index``).
+
+    The result is an ordinary
+    :class:`~repro.datasets.synthetic.SimulationScenario` — every
+    downstream consumer (``collect_votes``, the pipeline, baselines,
+    the platforms) works unchanged.
+    """
+    if family not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown scenario family {family!r}; choose from "
+            f"{', '.join(FAMILIES)}"
+        )
+    if n_objects < 2:
+        raise ConfigurationError(f"need at least 2 objects, got {n_objects}")
+    if not 0 < selection_ratio <= 1:
+        raise ConfigurationError(
+            f"selection_ratio must be in (0, 1], got {selection_ratio}"
+        )
+    if workers_per_task > n_workers:
+        raise ConfigurationError(
+            f"workers_per_task={workers_per_task} exceeds pool size "
+            f"{n_workers}"
+        )
+    if family == "starved":
+        # Minimum connected plan: the planner clips to n-1 spanning
+        # comparisons; one vote per comparison.
+        selection_ratio = min(selection_ratio, 1e-9 + 2.0 / n_objects)
+        workers_per_task = 1
+    elif family == "saturated":
+        selection_ratio = 1.0
+        workers_per_task = min(n_workers, workers_per_task + 2)
+
+    generator = ensure_rng(rng)
+    ground_truth = Ranking.random(n_objects, generator)
+    streams = spawn_rngs(generator, n_workers)
+    workers, crowd = _BUILDERS[family](ground_truth, n_workers, streams,
+                                       generator, params)
+    return _build_scenario(
+        ground_truth, workers, selection_ratio, workers_per_task,
+        quality_name=f"{family}: {crowd}",
+    )
+
+
+def hostile_votes(
+    family: str,
+    n_objects: int,
+    selection_ratio: float,
+    *,
+    n_workers: int = 20,
+    workers_per_task: int = 3,
+    scenario_seed: int = 0,
+    vote_seed: int = 0,
+    **params,
+):
+    """Convenience for test fixtures: ``(scenario, votes)`` in one call.
+
+    Builds the family's scenario and runs one seeded collection round —
+    the canonical way to feed *hostile* votes into streaming-session
+    and acquisition tests instead of hand-rolled honest ones.
+    """
+    from ..experiments.runner import collect_votes
+
+    scenario = make_adversarial_scenario(
+        family, n_objects, selection_ratio, n_workers=n_workers,
+        workers_per_task=workers_per_task, rng=scenario_seed, **params,
+    )
+    votes = collect_votes(scenario, rng=vote_seed)
+    return scenario, votes

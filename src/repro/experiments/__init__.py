@@ -5,6 +5,8 @@
   ``REPRO_PAPER_SCALE=1`` switch for full paper-size runs;
 * :mod:`~repro.experiments.runner` — executes pipeline and baseline arms
   over scenarios and returns flat records;
+* :mod:`~repro.experiments.matrix` — the adversarial scenario × engine
+  robustness matrix (the BENCH_scenarios.json surface);
 * :mod:`~repro.experiments.reporting` — renders records as the aligned
   text tables / series the benchmarks print.
 """
@@ -14,12 +16,28 @@ from .runner import (
     run_baseline_arm,
     run_pipeline_arm,
 )
+from .matrix import (
+    ACQUISITION_ENGINES,
+    DEFAULT_ENGINES,
+    ENGINES,
+    NONINTERACTIVE_ENGINES,
+    MatrixCell,
+    run_cell,
+    run_matrix,
+)
 from .scenarios import paper_scale, scaled
 from .reporting import format_records, format_series
 from .export import export_records_csv, export_records_json, load_records_csv
 from .replicate import AggregateRecord, replicate
 
 __all__ = [
+    "ACQUISITION_ENGINES",
+    "DEFAULT_ENGINES",
+    "ENGINES",
+    "NONINTERACTIVE_ENGINES",
+    "MatrixCell",
+    "run_cell",
+    "run_matrix",
     "AggregateRecord",
     "replicate",
     "export_records_csv",

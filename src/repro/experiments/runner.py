@@ -65,7 +65,16 @@ class ExperimentRecord:
 
 
 def collect_votes(scenario: SimulationScenario, rng: SeedLike = None) -> VoteSet:
-    """Run the non-interactive crowdsourcing round for a scenario."""
+    """Run the non-interactive crowdsourcing round for a scenario.
+
+    The round is a pure function of ``(scenario, rng)``: every worker
+    is reseeded with a per-worker child stream derived from ``rng`` (by
+    worker id), so repeated calls with the same seed return identical
+    votes even though the pool is stateful, and one worker's vote noise
+    never depends on how other workers' draws interleave — the property
+    the adversarial behaviour models (drift clocks, clique defections)
+    rely on for order-independent reproducibility.
+    """
     generator = ensure_rng(rng)
     plan = plan_for_selection_ratio(
         scenario.n_objects,
@@ -77,6 +86,7 @@ def collect_votes(scenario: SimulationScenario, rng: SeedLike = None) -> VoteSet
         assignment, n_workers=len(scenario.pool),
         workers_per_hit=scenario.workers_per_task, rng=generator,
     )
+    scenario.pool.reseed(generator)
     platform = NonInteractivePlatform(scenario.pool, scenario.ground_truth)
     return platform.run(worker_assignment).votes
 

@@ -37,6 +37,10 @@ from .backends import (
 from .pool import WorkerPool, parallel_map
 from .behaviors import (
     AdversarialWorker,
+    CliqueWorker,
+    CorrelatedWorker,
+    DifficultyWorker,
+    DriftingWorker,
     LazyWorker,
     SleepyWorker,
     SpammerWorker,
@@ -44,6 +48,10 @@ from .behaviors import (
 
 __all__ = [
     "AdversarialWorker",
+    "CliqueWorker",
+    "CorrelatedWorker",
+    "DifficultyWorker",
+    "DriftingWorker",
     "LazyWorker",
     "SleepyWorker",
     "SpammerWorker",

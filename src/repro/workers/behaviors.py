@@ -14,12 +14,34 @@ and power the robustness tests and the spam-resilience benchmark:
   as presented (position bias), which is random with respect to object
   identity but *consistent* within a worker;
 * :class:`SleepyWorker` — honest, but with probability ``lapse`` answers
-  a pair as a spammer would (attention lapses).
+  a pair as a spammer would (attention lapses);
+* :class:`CliqueWorker` — colludes with its clique on a *shared* story
+  ranking: every member answers every pair identically (always-agree),
+  and when the story is the reverse of the truth the clique is an
+  always-invert cabal;
+* :class:`DriftingWorker` — quality drifts over the worker's own vote
+  sequence (``sigma`` interpolates start → end across ``horizon``
+  votes): good→bad models burnout, bad→good models learning;
+* :class:`CorrelatedWorker` — errors correlated *across workers*: with
+  probability ``correlation`` the worker defers to a pair-keyed shared
+  coin (same for every worker sharing ``shared_seed``), so mistakes
+  cluster on the same pairs instead of averaging out;
+* :class:`DifficultyWorker` — honest, but each pair's effective
+  ``sigma`` is scaled by a per-object difficulty field, modelling
+  heavy-tailed item difficulty (a few near-ties are hard for everyone).
+
+These compose into whole crowds via
+:mod:`repro.datasets.adversarial`, which mixes them with honest workers
+into seeded :class:`~repro.datasets.synthetic.SimulationScenario`
+pools.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..types import Ranking, Vote
@@ -100,3 +122,190 @@ class SleepyWorker(SimulatedWorker):
                 return Vote(worker=self.worker_id, winner=i, loser=j)
             return Vote(worker=self.worker_id, winner=j, loser=i)
         return super().vote(i, j, truth)
+
+
+@dataclass
+class CliqueWorker(SimulatedWorker):
+    """A colluder answering per the clique's shared ``story`` ranking.
+
+    Every member constructed with the same ``story`` gives the *same*
+    answer on every pair — perfect intra-clique agreement, which is
+    exactly what makes collusion dangerous to agreement-weighted truth
+    discovery: the clique corroborates itself.  With probability
+    ``defect_rate`` a member breaks ranks and answers honestly (sloppy
+    colluders), which gives the drift tests a knob.
+    """
+
+    sigma: float = 0.0
+    story: Optional[Ranking] = None
+    defect_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.story is None:
+            raise ConfigurationError(
+                "CliqueWorker needs the clique's shared story ranking"
+            )
+        if not 0.0 <= self.defect_rate < 1.0:
+            raise ConfigurationError(
+                f"defect_rate must be in [0, 1), got {self.defect_rate}"
+            )
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Answer per the shared story (or honestly, on a defection)."""
+        if self.defect_rate > 0.0 and self.rng.random() < self.defect_rate:
+            return super().vote(i, j, truth)
+        if self.story.prefers(i, j):
+            return Vote(worker=self.worker_id, winner=i, loser=j)
+        return Vote(worker=self.worker_id, winner=j, loser=i)
+
+
+@dataclass
+class DriftingWorker(SimulatedWorker):
+    """Quality drifts over the worker's own vote sequence.
+
+    The effective deviation interpolates linearly from ``sigma`` to
+    ``sigma_end`` across the first ``horizon`` votes and stays at
+    ``sigma_end`` after — ``sigma < sigma_end`` is burnout (good→bad),
+    ``sigma > sigma_end`` is a learner (bad→good).  The drift clock is
+    *per worker* (its own vote count), so interleaving with other
+    workers does not change its trajectory, and :meth:`reseed` rewinds
+    it for a fresh round.
+    """
+
+    sigma: float = 0.05
+    sigma_end: float = 0.8
+    horizon: int = 100
+    votes_cast: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma_end < 0:
+            raise ConfigurationError(
+                f"sigma_end must be >= 0, got {self.sigma_end}"
+            )
+        if self.horizon < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1, got {self.horizon}"
+            )
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Fresh stream *and* a rewound drift clock."""
+        super().reseed(rng)
+        self.votes_cast = 0
+
+    def current_sigma(self) -> float:
+        """The deviation in effect for the next vote."""
+        progress = min(self.votes_cast / self.horizon, 1.0)
+        return self.sigma + (self.sigma_end - self.sigma) * progress
+
+    def error_probability(self) -> float:
+        sigma = self.current_sigma()
+        if sigma == 0.0:
+            return 0.0
+        return float(min(abs(self.rng.normal(0.0, sigma)), 1.0))
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Honest vote at the drifted quality; advances the clock."""
+        vote = super().vote(i, j, truth)
+        self.votes_cast += 1
+        return vote
+
+
+@dataclass
+class CorrelatedWorker(SimulatedWorker):
+    """Honest worker whose errors correlate with its cohort's.
+
+    With probability ``correlation`` the flip decision on pair
+    ``(i, j)`` comes from a *shared* deterministic coin keyed on
+    ``(shared_seed, min(i, j), max(i, j))`` — identical for every
+    worker constructed with the same ``shared_seed`` — with error rate
+    ``shared_error``.  Otherwise the worker draws privately from its
+    own ``sigma``.  Shared mistakes land on the *same pairs* for the
+    whole cohort, violating the paper's independent-error assumption
+    without making any single worker look unusual in isolation.
+    """
+
+    sigma: float = 0.1
+    shared_seed: int = 0
+    correlation: float = 0.5
+    shared_error: float = 0.35
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ConfigurationError(
+                f"correlation must be in [0, 1], got {self.correlation}"
+            )
+        if not 0.0 <= self.shared_error <= 1.0:
+            raise ConfigurationError(
+                f"shared_error must be in [0, 1], got {self.shared_error}"
+            )
+
+    def _shared_flip(self, i: int, j: int) -> bool:
+        lo, hi = (i, j) if i < j else (j, i)
+        coin = np.random.default_rng((self.shared_seed, lo, hi))
+        return bool(coin.random() < self.shared_error)
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Vote honestly, but defer flips to the cohort coin at rate
+        ``correlation``."""
+        true_winner, true_loser = (i, j) if truth.prefers(i, j) else (j, i)
+        if self.rng.random() < self.correlation:
+            flip = self._shared_flip(i, j)
+        else:
+            flip = self.rng.random() < self.error_probability()
+        if flip:
+            true_winner, true_loser = true_loser, true_winner
+        return Vote(worker=self.worker_id, winner=true_winner,
+                    loser=true_loser)
+
+
+@dataclass
+class DifficultyWorker(SimulatedWorker):
+    """Honest worker facing heavy-tailed per-item difficulty.
+
+    ``difficulty`` maps each object to a non-negative multiplier; the
+    effective deviation on pair ``(i, j)`` is ``sigma *
+    sqrt(d_i * d_j)`` (geometric mean), so a pair of two hard items is
+    much harder than a hard/easy pair.  The same field is shared by the
+    whole pool, concentrating everyone's errors on the same few
+    near-tie pairs.
+    """
+
+    sigma: float = 0.1
+    difficulty: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.difficulty is None:
+            raise ConfigurationError(
+                "DifficultyWorker needs a per-object difficulty field"
+            )
+        self.difficulty = np.asarray(self.difficulty, dtype=np.float64)
+        if self.difficulty.ndim != 1 or np.any(self.difficulty < 0):
+            raise ConfigurationError(
+                "difficulty must be a 1-D non-negative array"
+            )
+
+    def pair_sigma(self, i: int, j: int) -> float:
+        """Effective deviation for pair ``(i, j)``."""
+        scale = float(np.sqrt(self.difficulty[i] * self.difficulty[j]))
+        return self.sigma * scale
+
+    def vote(self, i: int, j: int, truth: Ranking) -> Vote:
+        """Honest vote at difficulty-scaled quality."""
+        if i >= len(self.difficulty) or j >= len(self.difficulty):
+            raise ConfigurationError(
+                f"pair ({i}, {j}) outside the {len(self.difficulty)}-object "
+                "difficulty field"
+            )
+        true_winner, true_loser = (i, j) if truth.prefers(i, j) else (j, i)
+        sigma = self.pair_sigma(i, j)
+        eps = 0.0 if sigma == 0.0 else float(
+            min(abs(self.rng.normal(0.0, sigma)), 1.0)
+        )
+        if self.rng.random() < eps:
+            true_winner, true_loser = true_loser, true_winner
+        return Vote(worker=self.worker_id, winner=true_winner,
+                    loser=true_loser)

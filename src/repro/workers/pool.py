@@ -74,6 +74,22 @@ class WorkerPool:
                 f"worker {worker_id} not in pool of {len(self._workers)}"
             ) from None
 
+    def reseed(self, rng: SeedLike = None) -> None:
+        """Give every worker a fresh child stream derived from ``rng``.
+
+        Child streams are spawned once from the parent and handed out
+        *by worker id*, so worker ``k``'s vote sequence depends only on
+        the parent seed and its own task sequence — never on how many
+        draws other workers (or other behaviour models) made in
+        between.  Workers with per-round state (drift clocks) reset it.
+        Reseeding makes a collection round a pure function of
+        ``(pool, seed)`` even when the pool was already used.
+        """
+        parent = ensure_rng(rng)
+        streams = spawn_rngs(parent, len(self._workers))
+        for worker, stream in zip(self._workers, streams):
+            worker.reseed(stream)
+
     # -- accessors -----------------------------------------------------------
     def sigmas(self) -> np.ndarray:
         """Error deviations of all workers, indexed by worker id."""

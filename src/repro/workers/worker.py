@@ -45,6 +45,18 @@ class SimulatedWorker:
         if self.rng is None:
             self.rng = ensure_rng(None)
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace this worker's private random stream.
+
+        :func:`repro.experiments.runner.collect_votes` reseeds every
+        worker from a per-worker child stream derived from the round's
+        seed, making each round a pure function of ``(scenario, seed)``
+        and each worker's vote sequence independent of how other
+        workers' draws interleave.  Subclasses with per-round state
+        (e.g. drift counters) override this to also reset that state.
+        """
+        self.rng = rng
+
     def error_probability(self) -> float:
         """Draw this task's error probability ``eps ~ |N(0, sigma^2)|``."""
         if self.sigma == 0.0:

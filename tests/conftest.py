@@ -12,7 +12,7 @@ from repro.config import (
     PropagationConfig,
     SAPSConfig,
 )
-from repro.datasets import make_scenario
+from repro.datasets import hostile_votes, make_scenario
 from repro.experiments.runner import collect_votes
 from repro.types import Ranking, Vote, VoteSet
 from repro.workers import QualityLevel, WorkerPool, gaussian_preset
@@ -97,6 +97,29 @@ def tiny_votes():
         Vote(worker=2, winner=0, loser=3),
     ]
     return VoteSet.from_votes(4, votes)
+
+
+@pytest.fixture(scope="session")
+def hostile_vote_stream():
+    """Factory: seeded ``(scenario, votes)`` for an adversarial family.
+
+    The canonical way to feed *hostile* crowds (spammers, cliques,
+    correlated errors, ...) into streaming and acquisition tests —
+    results are cached per family so repeated tests share one
+    collection round.
+    """
+    cache = {}
+
+    def _build(family: str, n_objects: int = 12):
+        key = (family, n_objects)
+        if key not in cache:
+            cache[key] = hostile_votes(
+                family, n_objects, 0.6, n_workers=10, workers_per_task=3,
+                scenario_seed=31, vote_seed=32,
+            )
+        return cache[key]
+
+    return _build
 
 
 @pytest.fixture

@@ -1,0 +1,223 @@
+"""Unit tests for the adversarial scenario families."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FAMILIES,
+    hostile_votes,
+    list_families,
+    make_adversarial_scenario,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import collect_votes
+from repro.workers import (
+    CliqueWorker,
+    CorrelatedWorker,
+    DifficultyWorker,
+    DriftingWorker,
+    SimulatedWorker,
+    SpammerWorker,
+)
+
+REQUIRED = {"honest", "spammer", "clique", "inverted_clique", "drift",
+            "drift_recover", "correlated", "heavy_tail", "starved",
+            "saturated"}
+
+
+class TestRegistry:
+    def test_all_required_families_present(self):
+        assert REQUIRED <= set(FAMILIES)
+
+    def test_list_families_is_a_copy(self):
+        listed = list_families()
+        assert listed == FAMILIES
+        listed.append("bogus")
+        assert "bogus" not in FAMILIES
+
+    def test_every_family_builds_and_votes(self):
+        for family in FAMILIES:
+            scenario = make_adversarial_scenario(
+                family, 10, 0.5, n_workers=8, workers_per_task=3, rng=3
+            )
+            assert scenario.n_objects == 10
+            assert len(scenario.pool) == 8
+            assert family in scenario.quality_name
+            votes = collect_votes(scenario, rng=4)
+            assert len(votes) > 0
+
+
+class TestValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            make_adversarial_scenario("bogus", 10, 0.5)
+
+    def test_too_few_objects(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            make_adversarial_scenario("honest", 1, 0.5)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigurationError, match="selection_ratio"):
+            make_adversarial_scenario("honest", 10, 0.0)
+
+    def test_workers_per_task_exceeds_pool(self):
+        with pytest.raises(ConfigurationError, match="exceeds pool"):
+            make_adversarial_scenario("honest", 10, 0.5, n_workers=3,
+                                      workers_per_task=4)
+
+    def test_bad_spammer_fraction(self):
+        with pytest.raises(ConfigurationError, match="spammer_fraction"):
+            make_adversarial_scenario("spammer", 10, 0.5,
+                                      spammer_fraction=1.5)
+
+    def test_bad_clique_fraction(self):
+        with pytest.raises(ConfigurationError, match="clique_fraction"):
+            make_adversarial_scenario("clique", 10, 0.5, clique_fraction=0.0)
+
+    def test_bad_tail_index(self):
+        with pytest.raises(ConfigurationError, match="tail_index"):
+            make_adversarial_scenario("heavy_tail", 10, 0.5, tail_index=-1)
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("family", sorted(REQUIRED))
+    def test_same_seed_same_scenario(self, family):
+        first = make_adversarial_scenario(family, 12, 0.5, n_workers=10,
+                                          workers_per_task=3, rng=17)
+        second = make_adversarial_scenario(family, 12, 0.5, n_workers=10,
+                                           workers_per_task=3, rng=17)
+        assert first.ground_truth.order == second.ground_truth.order
+        for a, b in zip(first.pool, second.pool):
+            assert type(a) is type(b)
+            assert a.sigma == b.sigma
+
+    def test_different_seed_different_truth(self):
+        first = make_adversarial_scenario("honest", 20, 0.5, rng=1)
+        second = make_adversarial_scenario("honest", 20, 0.5, rng=2)
+        assert first.ground_truth.order != second.ground_truth.order
+
+
+class TestCrowdComposition:
+    def test_spammer_mix(self):
+        scenario = make_adversarial_scenario("spammer", 10, 0.5,
+                                             n_workers=20,
+                                             workers_per_task=3, rng=5)
+        spammers = [w for w in scenario.pool
+                    if isinstance(w, SpammerWorker)]
+        assert len(spammers) == 8  # 0.4 * 20
+        assert len(spammers) < len(scenario.pool)
+
+    def test_never_corrupts_whole_crowd(self):
+        scenario = make_adversarial_scenario("spammer", 10, 0.5,
+                                             n_workers=6,
+                                             workers_per_task=3, rng=5,
+                                             spammer_fraction=0.99)
+        honest = [w for w in scenario.pool
+                  if not isinstance(w, SpammerWorker)]
+        assert len(honest) >= 1
+
+    def test_clique_shares_one_story(self):
+        scenario = make_adversarial_scenario("clique", 12, 0.5,
+                                             n_workers=10,
+                                             workers_per_task=3, rng=7)
+        stories = [w.story.order for w in scenario.pool
+                   if isinstance(w, CliqueWorker)]
+        assert len(stories) == 3  # 0.3 * 10
+        assert all(s == stories[0] for s in stories)
+
+    def test_inverted_clique_story_is_reversed_truth(self):
+        scenario = make_adversarial_scenario("inverted_clique", 12, 0.5,
+                                             n_workers=10,
+                                             workers_per_task=3, rng=7)
+        cliques = [w for w in scenario.pool if isinstance(w, CliqueWorker)]
+        assert cliques
+        expected = tuple(reversed(scenario.ground_truth.order))
+        for worker in cliques:
+            assert tuple(worker.story.order) == expected
+
+    def test_drift_directions(self):
+        degrade = make_adversarial_scenario("drift", 12, 0.5, n_workers=10,
+                                            workers_per_task=3, rng=9)
+        recover = make_adversarial_scenario("drift_recover", 12, 0.5,
+                                            n_workers=10,
+                                            workers_per_task=3, rng=9)
+        drifters = [w for w in degrade.pool
+                    if isinstance(w, DriftingWorker)]
+        learners = [w for w in recover.pool
+                    if isinstance(w, DriftingWorker)]
+        assert drifters and learners
+        assert all(w.sigma < w.sigma_end for w in drifters)
+        assert all(w.sigma > w.sigma_end for w in learners)
+
+    def test_correlated_crowd_shares_the_coin(self):
+        scenario = make_adversarial_scenario("correlated", 12, 0.5,
+                                             n_workers=8,
+                                             workers_per_task=3, rng=9)
+        workers = list(scenario.pool)
+        assert all(isinstance(w, CorrelatedWorker) for w in workers)
+        seeds = {w.shared_seed for w in workers}
+        assert len(seeds) == 1
+
+    def test_heavy_tail_difficulty_field(self):
+        scenario = make_adversarial_scenario("heavy_tail", 15, 0.5,
+                                             n_workers=8,
+                                             workers_per_task=3, rng=9)
+        workers = list(scenario.pool)
+        assert all(isinstance(w, DifficultyWorker) for w in workers)
+        field = workers[0].difficulty
+        assert field.shape == (15,)
+        assert float(field.min()) >= 1.0
+        for worker in workers[1:]:
+            np.testing.assert_array_equal(worker.difficulty, field)
+
+    def test_honest_is_plain_workers(self):
+        scenario = make_adversarial_scenario("honest", 10, 0.5,
+                                             n_workers=8,
+                                             workers_per_task=3, rng=9)
+        assert all(type(w) is SimulatedWorker for w in scenario.pool)
+
+
+class TestBudgetRegimes:
+    def test_starved_is_minimum_connected(self):
+        scenario = make_adversarial_scenario("starved", 20, 0.6,
+                                             n_workers=10,
+                                             workers_per_task=4, rng=3)
+        assert scenario.workers_per_task == 1
+        votes = collect_votes(scenario, rng=3)
+        # The planner clips to the n-1 spanning comparisons, one vote
+        # each: the cheapest plan that still connects every object.
+        assert len(votes) == scenario.n_objects - 1
+
+    def test_saturated_covers_every_pair(self):
+        scenario = make_adversarial_scenario("saturated", 8, 0.2,
+                                             n_workers=10,
+                                             workers_per_task=3, rng=3)
+        assert scenario.selection_ratio == 1.0
+        assert scenario.workers_per_task == 5
+        votes = collect_votes(scenario, rng=3)
+        seen = {tuple(sorted((v.winner, v.loser))) for v in votes.votes}
+        assert len(seen) == 8 * 7 // 2
+
+
+class TestHostileVotes:
+    def test_returns_scenario_and_votes(self):
+        scenario, votes = hostile_votes("spammer", 10, 0.5,
+                                        scenario_seed=1, vote_seed=2)
+        assert scenario.n_objects == 10
+        assert len(votes) > 0
+
+    def test_deterministic(self):
+        _, first = hostile_votes("clique", 10, 0.5, scenario_seed=4,
+                                 vote_seed=5)
+        _, second = hostile_votes("clique", 10, 0.5, scenario_seed=4,
+                                  vote_seed=5)
+        rows = [(v.worker, v.winner, v.loser) for v in first.votes]
+        assert rows == [(v.worker, v.winner, v.loser)
+                        for v in second.votes]
+
+    def test_params_reach_the_builder(self):
+        scenario, _ = hostile_votes("spammer", 10, 0.5, n_workers=10,
+                                    spammer_fraction=0.2, scenario_seed=1)
+        spammers = [w for w in scenario.pool
+                    if isinstance(w, SpammerWorker)]
+        assert len(spammers) == 2

@@ -1,0 +1,72 @@
+"""Property-based tests for the synthetic scenario generators.
+
+Hypothesis draws the scenario knobs; the properties pin the planner /
+pool / vote-collection contracts the rest of the suite assumes at fixed
+sizes: vote spend never exceeds the plan, worker quality stays in the
+model's legal band, and scenarios round-trip through their seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budget import plan_for_selection_ratio
+from repro.datasets import make_scenario
+from repro.experiments.runner import collect_votes
+
+#: Keep draws small: every example collects votes end-to-end.
+N_OBJECTS = st.integers(min_value=3, max_value=14)
+RATIO = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+WORKERS_PER_TASK = st.integers(min_value=1, max_value=4)
+SEED = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=N_OBJECTS, ratio=RATIO, w=WORKERS_PER_TASK, seed=SEED)
+def test_vote_count_never_exceeds_the_plan(n, ratio, w, seed):
+    """Collected votes match the plan exactly and stay under budget."""
+    scenario = make_scenario(n, ratio, n_workers=8, workers_per_task=w,
+                             rng=seed)
+    plan = plan_for_selection_ratio(n, scenario.selection_ratio,
+                                    workers_per_task=w)
+    votes = collect_votes(scenario, rng=seed)
+    assert len(votes) == plan.total_votes
+    assert len(votes) <= plan.budget.affordable_comparisons() * w
+    # Every vote names a real worker and a real, distinct object pair.
+    for vote in votes.votes:
+        assert 0 <= vote.worker < 8
+        assert 0 <= vote.winner < n
+        assert 0 <= vote.loser < n
+        assert vote.winner != vote.loser
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_workers=st.integers(min_value=1, max_value=40), seed=SEED,
+       quality=st.sampled_from(["gaussian", "uniform"]))
+def test_worker_quality_stays_in_the_model_band(n_workers, seed, quality):
+    """Expected accuracies live in (0.5, 1]: a simulated worker is
+    never a worse-than-coin adversary, and sigmas are non-negative."""
+    scenario = make_scenario(6, 0.5, n_workers=n_workers,
+                             workers_per_task=1, quality=quality, rng=seed)
+    accuracies = scenario.pool.expected_accuracies()
+    assert accuracies.shape == (n_workers,)
+    assert np.all(accuracies > 0.5)
+    assert np.all(accuracies <= 1.0)
+    assert np.all(scenario.pool.sigmas() >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=N_OBJECTS, ratio=RATIO, seed=SEED)
+def test_make_scenario_round_trips_through_its_seed(n, ratio, seed):
+    """The same seed rebuilds the same scenario, truth through votes."""
+    first = make_scenario(n, ratio, n_workers=6, workers_per_task=2,
+                          rng=seed)
+    second = make_scenario(n, ratio, n_workers=6, workers_per_task=2,
+                           rng=seed)
+    assert first.ground_truth.order == second.ground_truth.order
+    np.testing.assert_array_equal(first.pool.sigmas(),
+                                  second.pool.sigmas())
+    votes_a = collect_votes(first, rng=7)
+    votes_b = collect_votes(second, rng=7)
+    assert [(v.worker, v.winner, v.loser) for v in votes_a.votes] \
+        == [(v.worker, v.winner, v.loser) for v in votes_b.votes]

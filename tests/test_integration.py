@@ -27,13 +27,20 @@ class TestAccuracyClaims:
     """Fig. 5-style claims at laptop scale."""
 
     def test_accuracy_grows_with_selection_ratio(self):
-        """More budget -> better ranking (Fig. 5, right)."""
-        accuracies = {}
-        for ratio in (0.15, 0.6):
-            scenario = make_scenario(40, ratio, n_workers=30,
-                                     workers_per_task=5, rng=51)
-            record = run_pipeline_arm(scenario, FAST_PIPELINE, rng=51)
-            accuracies[ratio] = record.accuracy
+        """More budget -> better ranking (Fig. 5, right).
+
+        Averaged over three seeds: a single arm's accuracy has a
+        ~±0.05 noise band at this size, so one lucky low-budget draw
+        must not fail the monotonicity claim.
+        """
+        accuracies = {0.15: 0.0, 0.6: 0.0}
+        seeds = (1, 2, 3)
+        for ratio in accuracies:
+            for seed in seeds:
+                scenario = make_scenario(40, ratio, n_workers=30,
+                                         workers_per_task=5, rng=seed)
+                record = run_pipeline_arm(scenario, FAST_PIPELINE, rng=seed)
+                accuracies[ratio] += record.accuracy / len(seeds)
         assert accuracies[0.6] > accuracies[0.15] - 0.02
 
     def test_small_budget_still_accurate(self):
