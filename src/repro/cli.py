@@ -53,7 +53,12 @@ from typing import List, Optional
 from . import __version__
 from .assignment import generate_assignment, verify_assignment
 from .budget import BudgetModel, plan_for_budget, plan_for_selection_ratio
-from .config import PipelineConfig, PropagationConfig, SAPSConfig
+from .config import (
+    LARGE_N_PIPELINE,
+    PipelineConfig,
+    PropagationConfig,
+    SAPSConfig,
+)
 from .datasets import load_votes_csv, make_scenario
 from .diagnostics import configure_logging
 from .exceptions import ReproError
@@ -101,6 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--search", choices=["saps", "taps",
                                            "branch_and_bound"],
                       default="saps", help="Step-4 search algorithm")
+    rank.add_argument("--engine",
+                      choices=["crh_saps", "hodge", "lsq"], default=None,
+                      help="Step 1-3 engine: 'crh_saps' (the paper's "
+                           "dense pipeline, default), or the sparse "
+                           "least-squares engines 'hodge' / 'lsq' for "
+                           "large n")
+    rank.add_argument("--preset", choices=["large-n"], default=None,
+                      help="named configuration preset; 'large-n' is "
+                           "the BENCH_engines.json winner (hodge sparse "
+                           "engine) for n in the thousands")
     rank.add_argument("--alpha", type=float, default=0.5,
                       help="Step-3 direct/indirect blend (default 0.5)")
     rank.add_argument("--parallel-restarts", type=int, default=1,
@@ -150,6 +165,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="LANES",
                           help="concurrent SAPS restarts, run on --backend "
                                "(default 1; seed-identical to serial)")
+    simulate.add_argument("--engine",
+                          choices=["crh_saps", "hodge", "lsq"], default=None,
+                          help="Step 1-3 engine (default crh_saps; "
+                               "'hodge'/'lsq' are the sparse large-n "
+                               "least-squares engines)")
+    simulate.add_argument("--preset", choices=["large-n"], default=None,
+                          help="named configuration preset; 'large-n' "
+                               "selects the hodge sparse engine")
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--json", action="store_true")
 
@@ -279,7 +302,8 @@ def _build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--engines", nargs="+", default=None,
                         metavar="ENGINE",
                         help="engines to run (default: crh_saps borda "
-                             "copeland bdp)")
+                             "copeland bdp; also hodge lsq rc btl "
+                             "uncertainty random)")
     matrix.add_argument("--n-objects", type=int, default=40,
                         help="object-universe size (default 40)")
     matrix.add_argument("--ratio", type=float, default=0.3,
@@ -314,10 +338,20 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_engine(args: argparse.Namespace) -> str:
+    """Step 1-3 engine from --engine / --preset (explicit flag wins)."""
+    if args.engine is not None:
+        return args.engine
+    if getattr(args, "preset", None) == "large-n":
+        return LARGE_N_PIPELINE.engine
+    return "crh_saps"
+
+
 def _cmd_rank(args: argparse.Namespace) -> int:
     votes = load_votes_csv(args.votes_csv, n_objects=args.n_objects)
     config = PipelineConfig(
         search=args.search,
+        engine=_resolve_engine(args),
         propagation=PropagationConfig(alpha=args.alpha),
         saps=SAPSConfig(parallel_restarts=args.parallel_restarts,
                         backend=args.backend),
@@ -399,6 +433,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         quality=args.quality, level=QualityLevel(args.level), rng=args.seed,
     )
     config = PipelineConfig(
+        engine=_resolve_engine(args),
         saps=SAPSConfig(parallel_restarts=args.parallel_restarts,
                         backend=args.backend),
     )

@@ -269,6 +269,57 @@ class SAPSConfig:
 
 
 @dataclass(frozen=True)
+class SparseEngineConfig:
+    """Sparse large-``n`` engine knobs (``PipelineConfig.engine`` =
+    ``"hodge"`` or ``"lsq"``; see :mod:`repro.inference.engines`).
+
+    Attributes
+    ----------
+    solver:
+        ``"lsqr"`` (default) solves the weighted least-squares system
+        directly; ``"cg"`` runs conjugate gradients on the normal
+        equations (the weighted graph Laplacian).  Both are sparse
+        iterative methods — no dense ``n x n`` matrix is built.
+    flow:
+        Mapping from per-edge preference ``x in [0, 1]`` to the
+        gradient flow the scores must fit: ``"linear"`` is
+        ``2x - 1`` (HodgeRank's uniform/arithmetic-mean model,
+        default); ``"logit"`` is the Bradley-Terry log-odds
+        ``log(x / (1 - x))``.
+    tol:
+        Solver tolerance (LSQR ``atol``/``btol``; CG ``rtol``).
+    max_solver_iterations:
+        Iteration cap for either solver.
+    logit_clip:
+        With ``flow="logit"``, preferences are clipped into
+        ``[clip, 1 - clip]`` so unanimous edges keep a finite flow —
+        the sparse analogue of Step 2's 1-edge smoothing.
+    """
+
+    solver: str = "lsqr"
+    flow: str = "linear"
+    tol: float = 1e-8
+    max_solver_iterations: int = 2000
+    logit_clip: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("lsqr", "cg"):
+            raise ConfigurationError(
+                f"solver must be 'lsqr' or 'cg', got {self.solver!r}"
+            )
+        if self.flow not in ("linear", "logit"):
+            raise ConfigurationError(
+                f"flow must be 'linear' or 'logit', got {self.flow!r}"
+            )
+        if not 0 < self.tol < 1:
+            raise ConfigurationError("tol must be in (0, 1)")
+        if self.max_solver_iterations < 1:
+            raise ConfigurationError("max_solver_iterations must be >= 1")
+        if not 0 < self.logit_clip < 0.5:
+            raise ConfigurationError("logit_clip must be in (0, 0.5)")
+
+
+@dataclass(frozen=True)
 class TAPSConfig:
     """Step 4 exact (Sec. V-D1): threshold-based path search.
 
@@ -302,6 +353,18 @@ class PipelineConfig:
     produce bit-identical results (rankings, log-preference, smoothing
     adjustments) — the object path exists as a cross-check oracle and
     for callers that want the intermediate graphs.
+
+    ``engine`` selects the Step 1-3 *strategy* one level above
+    ``vote_path``: ``"crh_saps"`` (default) is the paper's dense
+    pipeline (truth discovery -> smoothing -> propagation -> path
+    search, on whichever ``vote_path``); ``"hodge"`` and ``"lsq"`` are
+    the sparse least-squares engines of
+    :mod:`repro.inference.engines`, which replace Steps 2-4 with one
+    sparse solve over the comparison graph and scale to ``n`` in the
+    thousands (see :data:`LARGE_N_PIPELINE`).  For the sparse engines,
+    ``search``/``smoothing``/``propagation``/``saps``/``taps`` are
+    ignored; ``truth`` and ``truth_engine`` still drive Step 1 for
+    ``"hodge"``, and ``sparse`` holds the solver knobs.
     """
 
     truth: TruthDiscoveryConfig = field(default_factory=TruthDiscoveryConfig)
@@ -309,9 +372,11 @@ class PipelineConfig:
     propagation: PropagationConfig = field(default_factory=PropagationConfig)
     saps: SAPSConfig = field(default_factory=SAPSConfig)
     taps: TAPSConfig = field(default_factory=TAPSConfig)
+    sparse: SparseEngineConfig = field(default_factory=SparseEngineConfig)
     search: str = "saps"
     truth_engine: str = "crh"
     vote_path: str = "columnar"
+    engine: str = "crh_saps"
 
     def __post_init__(self) -> None:
         if self.search not in ("saps", "taps", "branch_and_bound"):
@@ -329,6 +394,11 @@ class PipelineConfig:
                 f"vote_path must be 'columnar' or 'object', got "
                 f"{self.vote_path!r}"
             )
+        if self.engine not in ("crh_saps", "hodge", "lsq"):
+            raise ConfigurationError(
+                f"engine must be 'crh_saps', 'hodge' or 'lsq', got "
+                f"{self.engine!r}"
+            )
 
     def with_(self, **kwargs) -> "PipelineConfig":
         """Return a copy with the given fields replaced (convenience)."""
@@ -340,3 +410,10 @@ FAST_PIPELINE = PipelineConfig(
     saps=SAPSConfig(iterations=3000, restarts=1),
     propagation=PropagationConfig(max_hops=6, method="walks"),
 )
+
+#: The documented large-``n`` preset (CLI ``--preset large-n``): the
+#: HodgeRank sparse engine, the accuracy-vs-wall-clock winner of the
+#: BENCH_engines.json n-sweep — quality-weighted like the dense
+#: pipeline but solving one sparse least-squares system, so n in the
+#: thousands completes in seconds where the dense path is infeasible.
+LARGE_N_PIPELINE = PipelineConfig(engine="hodge")

@@ -54,6 +54,18 @@ class DataFormatError(ReproError):
     """An external data file (e.g. AMT CSV export) is malformed."""
 
 
+class DegenerateGraphWarning(UserWarning):
+    """The comparison graph is degenerate for the requested computation.
+
+    Emitted (not raised) by the sparse least-squares engines when the
+    comparison graph is disconnected: scores are then only determined
+    within each connected component, so the engine applies per-component
+    anchoring with a deterministic, seeded cross-component tie-break and
+    records the condition in the result metadata instead of silently
+    returning one arbitrary solution of a singular system.
+    """
+
+
 class ExecutionBackendError(ReproError):
     """A compute-fanout backend (:mod:`repro.workers.backends`) failed."""
 

@@ -46,8 +46,10 @@ from ..types import Ranking, VoteSet
 from .runner import collect_votes
 
 #: Engines ranked on one shared (paired) non-interactive vote set.
+#: ``hodge``/``lsq`` are the sparse least-squares engines of
+#: :mod:`repro.inference.engines`, run through the same pipeline seam.
 NONINTERACTIVE_ENGINES: Tuple[str, ...] = (
-    "crh_saps", "borda", "copeland", "rc", "btl",
+    "crh_saps", "hodge", "lsq", "borda", "copeland", "rc", "btl",
 )
 
 #: Engines driving their own value-of-information acquisition loop.
@@ -120,7 +122,13 @@ def _run_noninteractive(
     rng: np.random.Generator,
 ) -> Ranking:
     if engine == "crh_saps":
-        return RankingPipeline(config).run(votes, rng).ranking
+        return RankingPipeline(config.with_(engine="crh_saps")).run(
+            votes, rng
+        ).ranking
+    if engine in ("hodge", "lsq"):
+        return RankingPipeline(config.with_(engine=engine)).run(
+            votes, rng
+        ).ranking
     if engine == "borda":
         return borda_count(votes, rng)
     if engine == "copeland":

@@ -107,7 +107,9 @@ def run_pipeline_arm(
     seconds = time.perf_counter() - start
     cfg = pipeline.config
     return ExperimentRecord(
-        algorithm=cfg.search,
+        # Sparse engines replace the Step-4 search entirely; report the
+        # engine name so arms stay distinguishable in exports.
+        algorithm=cfg.search if cfg.engine == "crh_saps" else cfg.engine,
         n_objects=scenario.n_objects,
         selection_ratio=scenario.selection_ratio,
         workers_per_task=scenario.workers_per_task,

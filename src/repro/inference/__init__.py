@@ -8,9 +8,23 @@
   search (plus a branch-and-bound exact search for moderate ``n``);
 * :mod:`~repro.inference.saps` — Step 4 heuristic: simulated-annealing
   path search (Algorithms 2-3);
+* :mod:`~repro.inference.incidence` — shared sparse incidence assembly
+  over the comparison graph (memoized per
+  :class:`~repro.types.VoteArrays`);
+* :mod:`~repro.inference.engines` — sparse large-``n`` Step 1-3
+  engines (HodgeRank / graph least squares) behind
+  ``PipelineConfig.engine``;
 * :mod:`~repro.inference.pipeline` — the end-to-end inference pipeline.
 """
 
+from .engines import (
+    SPARSE_ENGINES,
+    EngineReport,
+    graph_lsq_rank,
+    hodge_rank,
+    solve_sparse_engine,
+)
+from .incidence import SparseIncidence, build_incidence, quality_edge_weights
 from .smoothing import (
     MatrixSmoothingResult,
     SmoothingResult,
@@ -25,6 +39,14 @@ from .local_search import polish_ranking
 from .pipeline import RankingPipeline, infer_ranking
 
 __all__ = [
+    "SPARSE_ENGINES",
+    "EngineReport",
+    "SparseIncidence",
+    "build_incidence",
+    "quality_edge_weights",
+    "solve_sparse_engine",
+    "hodge_rank",
+    "graph_lsq_rank",
     "MatrixSmoothingResult",
     "SmoothingResult",
     "direct_preference_matrix",

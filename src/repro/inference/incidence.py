@@ -1,0 +1,174 @@
+"""Shared sparse-incidence assembly over the comparison graph.
+
+Every large-``n`` consumer of a vote set — the HodgeRank / graph
+least-squares engines (:mod:`repro.inference.engines`) and the sparse
+Rank Centrality baseline (:mod:`repro.baselines.rank_centrality`) —
+needs the same three derived structures:
+
+* the **edge table**: one row per distinct canonical pair ``(lo, hi)``
+  with its vote count and the number of votes preferring ``lo``
+  (already half-built as :class:`~repro.types.VoteArrays`' pair table);
+* the **gradient incidence matrix** ``B`` of the comparison graph
+  (``n_edges x n_objects``, ``+1`` at ``lo`` and ``-1`` at ``hi``), so a
+  score vector ``s`` induces the edge flow ``B s`` with
+  ``(B s)_e = s_lo - s_hi``;
+* the **connected components** of the (undirected) comparison graph,
+  which determine the null space of any least-squares system on ``B``.
+
+``build_incidence`` assembles all of it **once per arrays object** and
+memoizes the result on the :class:`~repro.types.VoteArrays` instance,
+mirroring :meth:`repro.types.VoteSet.arrays` caching: the arrays are
+immutable by contract, so repeated calls — e.g. the ``lsq`` engine after
+``rank_centrality`` on the same votes — are free.  Nothing here ever
+materialises an ``n x n`` dense matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components
+
+from ..exceptions import InferenceError
+from ..types import VoteArrays
+
+#: Attribute name of the per-arrays memo slot (see :func:`build_incidence`).
+_MEMO_ATTR = "_incidence_memo"
+
+
+@dataclass(frozen=True)
+class SparseIncidence:
+    """The shared sparse view of a vote set's comparison graph.
+
+    Attributes
+    ----------
+    n_objects:
+        Size of the object universe (isolated objects included).
+    edge_lo / edge_hi:
+        The distinct canonical pairs, lexicographically sorted —
+        aliases of the arrays' pair table.
+    counts:
+        Votes observed per edge (``float64``, always ``>= 1``).
+    value_sum:
+        Per edge, the number of votes preferring the canonical-low
+        object (sum of the paper's ``x_ij^k``); ``counts - value_sum``
+        votes preferred the high object.
+    incidence:
+        CSR gradient matrix ``B`` (``n_edges x n_objects``): row ``e``
+        holds ``+1`` at ``edge_lo[e]`` and ``-1`` at ``edge_hi[e]``.
+    labels:
+        Connected-component label per object id (objects that never
+        appear in a vote form their own singleton components).
+    n_components:
+        Number of connected components; ``1`` means the least-squares
+        system has the single global-shift null vector and no anchoring
+        beyond mean-centring is needed.
+    """
+
+    n_objects: int
+    edge_lo: np.ndarray
+    edge_hi: np.ndarray
+    counts: np.ndarray
+    value_sum: np.ndarray
+    incidence: sparse.csr_matrix
+    labels: np.ndarray
+    n_components: int
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_lo.shape[0])
+
+    def mean_value(self) -> np.ndarray:
+        """Per-edge unweighted vote mean (fraction preferring ``lo``)."""
+        return self.value_sum / self.counts
+
+
+def build_incidence(arrays: VoteArrays) -> SparseIncidence:
+    """The sparse incidence view of a vote set, built once and memoized.
+
+    The result is cached on the arrays object itself (sound because
+    :class:`~repro.types.VoteArrays` is immutable by contract), so every
+    consumer sharing the arrays — engines, baselines, tests — shares one
+    assembly.
+
+    Raises
+    ------
+    InferenceError
+        On an empty vote set (no edges to assemble).
+    """
+    memo = arrays.__dict__.get(_MEMO_ATTR)
+    if memo is not None:
+        return memo
+    if arrays.n_votes == 0:
+        raise InferenceError("cannot build incidence from an empty vote set")
+    n = arrays.n_objects
+    n_edges = arrays.n_pairs
+    edge_lo = arrays.pair_lo
+    edge_hi = arrays.pair_hi
+    counts = np.bincount(arrays.pair_idx, minlength=n_edges).astype(np.float64)
+    value_sum = np.bincount(
+        arrays.pair_idx, weights=arrays.value, minlength=n_edges
+    )
+
+    rows = np.repeat(np.arange(n_edges, dtype=np.int64), 2)
+    cols = np.empty(2 * n_edges, dtype=np.int64)
+    cols[0::2] = edge_lo
+    cols[1::2] = edge_hi
+    data = np.empty(2 * n_edges, dtype=np.float64)
+    data[0::2] = 1.0
+    data[1::2] = -1.0
+    incidence = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(n_edges, n)
+    )
+
+    ones = np.ones(n_edges, dtype=np.int8)
+    adjacency = sparse.coo_matrix(
+        (ones, (edge_lo, edge_hi)), shape=(n, n)
+    )
+    n_components, labels = connected_components(
+        adjacency, directed=False, return_labels=True
+    )
+
+    built = SparseIncidence(
+        n_objects=n,
+        edge_lo=edge_lo,
+        edge_hi=edge_hi,
+        counts=counts,
+        value_sum=value_sum,
+        incidence=incidence,
+        labels=labels,
+        n_components=int(n_components),
+    )
+    object.__setattr__(arrays, _MEMO_ATTR, built)
+    return built
+
+
+def quality_edge_weights(
+    arrays: VoteArrays, quality_vector: np.ndarray
+) -> np.ndarray:
+    """Per-edge quality mass: ``w_e = sum over votes on e of q_worker``.
+
+    ``quality_vector`` must be aligned with the arrays' worker table
+    (the Step-1 :attr:`~repro.truth.crh.TruthDiscoveryResult.quality_vector`).
+    This is the *weighted* analogue of ``counts`` — it cannot be part of
+    the memoized :class:`SparseIncidence` because the qualities change
+    per truth-discovery run, but it is a single ``bincount`` pass.
+
+    Raises
+    ------
+    InferenceError
+        If the quality vector does not match the worker table.
+    """
+    quality = np.asarray(quality_vector, dtype=np.float64)
+    if quality.shape != (arrays.n_workers,):
+        raise InferenceError(
+            f"quality vector of shape {quality.shape} does not match the "
+            f"{arrays.n_workers}-worker vote table"
+        )
+    return np.bincount(
+        arrays.pair_idx,
+        weights=quality[arrays.worker_idx],
+        minlength=arrays.n_pairs,
+    )

@@ -57,6 +57,22 @@ class RankingPipeline:
             raise InferenceError("cannot infer a ranking from zero votes")
         generator = ensure_rng(rng)
         config = self._config
+
+        # Sparse engines replace Steps 2-4 with one least-squares solve
+        # over the comparison graph (see repro.inference.engines); the
+        # dense path below is the paper's crh_saps pipeline.
+        if config.engine != "crh_saps":
+            from .engines import solve_sparse_engine
+
+            report = solve_sparse_engine(votes, config, generator)
+            return InferenceResult(
+                ranking=report.ranking,
+                log_preference=report.log_preference,
+                worker_quality=report.worker_quality,
+                direct_preferences=report.direct_preferences,
+                step_seconds=report.step_seconds,
+                metadata=report.metadata,
+            )
         step_seconds = {}
 
         columnar = config.vote_path == "columnar"

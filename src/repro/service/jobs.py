@@ -34,6 +34,7 @@ from ..config import (
     PropagationConfig,
     SAPSConfig,
     SmoothingConfig,
+    SparseEngineConfig,
     TAPSConfig,
     TruthDiscoveryConfig,
 )
@@ -170,6 +171,7 @@ _SUBCONFIGS = {
     "propagation": PropagationConfig,
     "saps": SAPSConfig,
     "taps": TAPSConfig,
+    "sparse": SparseEngineConfig,
 }
 
 
@@ -200,7 +202,7 @@ def config_from_payload(
                         f"{source}: config.{key} must be an object"
                     )
                 kwargs[key] = _SUBCONFIGS[key](**value)
-            elif key in ("search", "truth_engine", "vote_path"):
+            elif key in ("search", "truth_engine", "vote_path", "engine"):
                 kwargs[key] = value
             else:
                 raise DataFormatError(

@@ -272,6 +272,19 @@ class VoteArrays:
             worker_ids=worker_ids,
         )
 
+    _FIELDS = ("n_objects", "winner", "loser", "worker_idx", "pair_idx",
+               "value", "pair_lo", "pair_hi", "worker_ids")
+
+    def __getstate__(self):
+        # Keep pickles (process-backend dispatch, cache spills) lean:
+        # derived memo slots (e.g. the sparse incidence cache of
+        # repro.inference.incidence) rebuild on demand.
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __setstate__(self, state) -> None:
+        for name in self._FIELDS:
+            object.__setattr__(self, name, state[name])
+
     # -- sizes ----------------------------------------------------------------
     @property
     def n_votes(self) -> int:
